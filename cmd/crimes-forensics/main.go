@@ -1,0 +1,184 @@
+// Command crimes-forensics analyzes saved CRIMES memory dumps offline,
+// the way an investigator consumes the full system checkpoints CRIMES
+// writes to disk after an incident (§5.5). With -demo it first creates
+// a compromised guest, saves its dumps, and then analyzes them.
+//
+// Usage:
+//
+//	crimes-forensics -demo -dir /tmp/dumps
+//	crimes-forensics -dump bad.crimesdump -base good.crimesdump
+//	crimes-forensics -dump bad.crimesdump -pslist -psxview -timeline -modscan
+//	crimes-forensics -dump bad.crimesdump -procdump 2 -grep secret
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/volatility"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crimes-forensics:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		demo     = flag.Bool("demo", false, "create demo dumps of a compromised guest, then analyze them")
+		dir      = flag.String("dir", ".", "directory for -demo dumps")
+		dumpPath = flag.String("dump", "", "dump file to analyze")
+		basePath = flag.String("base", "", "earlier (clean) dump: run the semantic diff base->dump")
+		pslist   = flag.Bool("pslist", true, "run pslist")
+		psxview  = flag.Bool("psxview", true, "run the psscan/pslist/pid-hash cross view")
+		timeline = flag.Bool("timeline", false, "order recoverable process records by start time")
+		modscan  = flag.Bool("modscan", false, "heuristic module scan + hidden-module cross view")
+		procPID  = flag.Uint("procdump", 0, "extract a process image by pid")
+		grep     = flag.String("grep", "", "grep the extracted process image for a string")
+	)
+	flag.Parse()
+
+	if *demo {
+		good, bad, err := makeDemoDumps(*dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s\n\n", good, bad)
+		*dumpPath, *basePath = bad, good
+		*timeline, *modscan = true, true
+	}
+	if *dumpPath == "" {
+		return errors.New("no dump given (use -dump or -demo)")
+	}
+	d, err := volatility.LoadFile(*dumpPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dump: %s (%s, %d pages)\n\n", *dumpPath, d.Profile.KernelName, d.Snapshot.Pages)
+
+	if *pslist {
+		procs, err := volatility.PsList(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pslist (%d):\n", len(procs))
+		for _, p := range procs {
+			fmt.Printf("  pid=%-4d uid=%-5d %s\n", p.PID, p.UID, p.Name)
+		}
+		fmt.Println()
+	}
+	if *psxview {
+		rows, err := volatility.PsXView(d)
+		if err != nil {
+			return err
+		}
+		fmt.Println("psxview:")
+		for _, r := range rows {
+			fmt.Printf("  %-18s pid=%-4d pslist=%-5v psscan=%-5v pidhash=%-5v suspicious=%v\n",
+				r.Name, r.PID, r.InPsList, r.InPsScan, r.InPIDHash, r.Suspicious())
+		}
+		fmt.Println()
+	}
+	if *timeline {
+		tl, err := volatility.Timeline(d)
+		if err != nil {
+			return err
+		}
+		fmt.Println("timeline:")
+		for _, e := range tl {
+			fmt.Printf("  t+%-10d pid=%-4d %s\n", e.WhenNs, e.PID, e.What)
+		}
+		fmt.Println()
+	}
+	if *modscan {
+		hidden, err := volatility.HiddenModules(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hidden modules (modscan vs module list): %d\n", len(hidden))
+		for _, m := range hidden {
+			fmt.Printf("  %-20s %d bytes at %#x\n", m.Name, m.Size, m.VA)
+		}
+		fmt.Println()
+	}
+	if *procPID != 0 {
+		pd, err := volatility.ProcDump(d, uint32(*procPID))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("procdump pid=%d: %q, %d bytes\n", pd.PID, pd.Name, len(pd.Image))
+		if *grep != "" {
+			for _, hit := range volatility.GrepImage(pd.Image, *grep, 4) {
+				fmt.Printf("  match: %q\n", hit)
+			}
+		}
+		fmt.Println()
+	}
+	if *basePath != "" {
+		base, err := volatility.LoadFile(*basePath)
+		if err != nil {
+			return err
+		}
+		diff, err := volatility.Diff(base, d)
+		if err != nil {
+			return err
+		}
+		rep := &volatility.Report{Title: "Offline Dump Diff", Diff: diff}
+		fmt.Println(rep.Render())
+	}
+	return nil
+}
+
+// makeDemoDumps boots a guest, compromises it, and saves before/after
+// dumps.
+func makeDemoDumps(dir string) (string, string, error) {
+	h := hv.New(1040)
+	dom, err := h.CreateDomain("demo", 1024)
+	if err != nil {
+		return "", "", err
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{})
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := g.StartProcess("sshd", 0, 4); err != nil {
+		return "", "", err
+	}
+	save := func(name string) (string, error) {
+		snap, err := dom.DumpMemory()
+		if err != nil {
+			return "", err
+		}
+		path := filepath.Join(dir, name)
+		return path, volatility.NewDump(snap, g.Profile(), g.SystemMap()).SaveFile(path)
+	}
+	good, err := save("last-good.crimesdump")
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := workload.InjectHiddenProcess(g, "cryptolocker"); err != nil {
+		return "", "", err
+	}
+	if _, err := g.LoadModule("rootkit_mod", 8192); err != nil {
+		return "", "", err
+	}
+	if err := g.HideModule("rootkit_mod"); err != nil {
+		return "", "", err
+	}
+	if err := workload.InjectSyscallHijack(g, 3); err != nil {
+		return "", "", err
+	}
+	bad, err := save("audit-fail.crimesdump")
+	if err != nil {
+		return "", "", err
+	}
+	return good, bad, nil
+}

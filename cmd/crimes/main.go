@@ -1,0 +1,158 @@
+// Command crimes runs a guest workload under CRIMES protection and
+// demonstrates attack detection, rollback-and-replay pinpointing, and
+// forensic reporting.
+//
+// Usage:
+//
+//	crimes -workload swaptions -epochs 10 -interval 100ms
+//	crimes -attack overflow          # case study 1
+//	crimes -attack malware -windows  # case study 2
+//	crimes -attack hijack
+//	crimes -attack hidden
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/honeypot"
+	"repro/internal/workload"
+
+	crimes "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crimes:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		wl         = flag.String("workload", "swaptions", "PARSEC workload profile to run")
+		epochs     = flag.Int("epochs", 5, "number of epochs to execute")
+		interval   = flag.Duration("interval", 100*time.Millisecond, "epoch interval")
+		attack     = flag.String("attack", "", "inject an attack in the final epoch: overflow|malware|hijack|hidden")
+		windows    = flag.Bool("windows", false, "boot a Windows guest profile")
+		bestEffort = flag.Bool("best-effort", false, "disable output buffering (Best Effort safety)")
+		pot        = flag.Bool("honeypot", false, "after an incident, convert the VM into a monitored honeypot")
+		modules    = flag.String("modules", "default", "comma-separated detector modules (see -modules list)")
+	)
+	flag.Parse()
+
+	if *modules == "list" {
+		for _, n := range detect.AvailableModules() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	mods, err := detect.ModulesByName(*modules)
+	if err != nil {
+		return err
+	}
+	cfg := crimes.Config{
+		EpochInterval:    *interval,
+		ReplayOnIncident: true,
+		Modules:          mods,
+	}
+	if *bestEffort {
+		cfg.Safety = crimes.BestEffort
+	}
+	sys, err := crimes.Launch(crimes.Options{
+		GuestPages: 2048,
+		Windows:    *windows,
+		Config:     cfg,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	spec, err := workload.ParsecByName(*wl)
+	if err != nil {
+		return err
+	}
+	runner := workload.NewRunner(spec, 64)
+
+	for i := 1; i <= *epochs; i++ {
+		last := i == *epochs
+		res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+			if err := runner.RunEpoch(g, *interval); err != nil {
+				return err
+			}
+			if last && *attack != "" {
+				return inject(g, runner.PID(), *attack)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %2d: dirty=%5d pages, pause=%8v, findings=%d\n",
+			res.Epoch, res.Counts.DirtyPages, res.Phases.Total().Round(time.Microsecond), len(res.Findings))
+		if res.Incident != nil {
+			fmt.Printf("\nINCIDENT at epoch %d; %d buffered outputs discarded\n",
+				res.Incident.Epoch, sys.Controller.Buffer().Discarded())
+			if res.Incident.Pinpoint != nil {
+				fmt.Println("pinpoint:", res.Incident.Pinpoint.Describe())
+			}
+			fmt.Println()
+			fmt.Println(res.Incident.Report.Render())
+			if *pot {
+				return runHoneypot(sys, runner.PID())
+			}
+			return nil
+		}
+	}
+	fmt.Printf("\ncompleted %d clean epochs; virtual time %v (pause %v, %.1f%%)\n",
+		sys.Controller.Epoch(), sys.Controller.VirtualTime().Round(time.Millisecond),
+		sys.Controller.TotalPause().Round(time.Millisecond),
+		100*float64(sys.Controller.TotalPause())/float64(sys.Controller.VirtualTime()))
+	return nil
+}
+
+func runHoneypot(sys *crimes.System, pid uint32) error {
+	fmt.Println("converting compromised VM into a monitored honeypot...")
+	hp, err := honeypot.Convert(sys.Guest)
+	if err != nil {
+		return err
+	}
+	// Simulated continued attacker activity inside the quarantine.
+	if _, err := hp.RunEpoch(func(g *guestos.Guest) error {
+		if err := g.SendPacket(pid, [4]byte{66, 66, 66, 66}, 6666, []byte("c2 beacon")); err != nil {
+			return err
+		}
+		return g.HijackSyscall(3, 0xdead)
+	}); err != nil {
+		return err
+	}
+	if err := hp.Release(); err != nil {
+		return err
+	}
+	fmt.Println(hp.Report())
+	return nil
+}
+
+func inject(g *guestos.Guest, pid uint32, kind string) error {
+	switch kind {
+	case "overflow":
+		_, err := workload.InjectOverflow(g, pid, 64, 16)
+		return err
+	case "malware":
+		_, err := workload.InjectMalware(g)
+		return err
+	case "hijack":
+		return workload.InjectSyscallHijack(g, 11)
+	case "hidden":
+		_, err := workload.InjectHiddenProcess(g, "lurker")
+		return err
+	default:
+		return errors.New("unknown attack: " + kind)
+	}
+}

@@ -1,0 +1,149 @@
+// Package crimes is the public API of the CRIMES reproduction: an
+// evidence-based security framework for virtual machines that couples
+// speculative execution with memory introspection (Middleware '18).
+//
+// A protected system runs a simulated guest OS inside a simulated
+// hypervisor domain. Execution proceeds in epochs: the guest's external
+// outputs are buffered, the VM is paused at each epoch boundary, VMI
+// scan modules audit memory for evidence of attacks, and on a passing
+// audit the epoch is checkpointed and its outputs released. On a failed
+// audit the outputs are discarded and the analyzer rolls back, replays,
+// and produces a forensic report.
+//
+// Quick start:
+//
+//	sys, err := crimes.Launch(crimes.Options{})
+//	...
+//	res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+//		// guest work for one epoch
+//		return nil
+//	})
+//	if res.Incident != nil {
+//		fmt.Println(res.Incident.Report.Render())
+//	}
+package crimes
+
+import (
+	"fmt"
+
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/netbuf"
+	"repro/internal/volatility"
+)
+
+// Re-exported configuration types.
+type (
+	// Config configures the CRIMES controller (epoch interval, safety
+	// mode, scan mode, optimization level, modules).
+	Config = core.Config
+	// Controller is the per-VM CRIMES instance.
+	Controller = core.Controller
+	// EpochResult reports one epoch's outcome.
+	EpochResult = core.EpochResult
+	// Incident is a failed audit plus the analyzer's output.
+	Incident = core.Incident
+	// Finding is one piece of attack evidence.
+	Finding = detect.Finding
+	// Module is a pluggable detector scan.
+	Module = detect.Module
+	// Report is the rendered forensic report.
+	Report = volatility.Report
+	// Pinpoint identifies the exact replayed write that caused an attack.
+	Pinpoint = analyze.Pinpoint
+	// ScanMode selects synchronous or asynchronous audits.
+	ScanMode = core.ScanMode
+)
+
+// Safety modes (output buffering policy).
+const (
+	Synchronous = netbuf.Synchronous
+	BestEffort  = netbuf.BestEffort
+)
+
+// Scan scheduling modes.
+const (
+	ScanSync  = core.ScanSync
+	ScanAsync = core.ScanAsync
+)
+
+// Checkpointing optimization levels (§4.1).
+const (
+	OptNone   = cost.NoOpt
+	OptMemcpy = cost.Memcpy
+	OptPremap = cost.Premap
+	OptFull   = cost.Full
+)
+
+// DefaultModules returns the full detector stack: guest-aided canary
+// scanning plus the unaided malware, syscall-integrity, and
+// hidden-process scans.
+func DefaultModules() []Module {
+	return []Module{
+		detect.CanaryModule{},
+		detect.NewMalwareModule(nil),
+		detect.SyscallModule{},
+		detect.HiddenProcessModule{},
+	}
+}
+
+// Options configures Launch.
+type Options struct {
+	// GuestPages is the guest's memory size in 4 KiB pages (default 1024).
+	GuestPages int
+	// Windows selects the Windows guest profile instead of Linux.
+	Windows bool
+	// Seed is the guest's boot entropy (canary secret).
+	Seed int64
+	// Config is the controller configuration; zero values take the
+	// defaults (200 ms epochs, Synchronous safety, Full optimization).
+	Config Config
+}
+
+// System is a launched guest under CRIMES protection.
+type System struct {
+	HV         *hv.Hypervisor
+	Guest      *guestos.Guest
+	Controller *Controller
+}
+
+// Launch boots a guest on a fresh hypervisor and attaches a CRIMES
+// controller. If no modules are configured, DefaultModules are used.
+func Launch(opts Options) (*System, error) {
+	if opts.GuestPages <= 0 {
+		opts.GuestPages = 1024
+	}
+	if opts.Config.Modules == nil {
+		opts.Config.Modules = DefaultModules()
+	}
+	prof := guestos.LinuxProfile()
+	if opts.Windows {
+		prof = guestos.WindowsProfile()
+	}
+	h := hv.New(2*opts.GuestPages + 16)
+	dom, err := h.CreateDomain("guest", opts.GuestPages)
+	if err != nil {
+		return nil, fmt.Errorf("crimes: %w", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Profile: prof, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("crimes: %w", err)
+	}
+	ctl, err := core.New(h, g, opts.Config)
+	if err != nil {
+		return nil, fmt.Errorf("crimes: %w", err)
+	}
+	return &System{HV: h, Guest: g, Controller: ctl}, nil
+}
+
+// RunEpoch executes one epoch of guest work under protection.
+func (s *System) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, error) {
+	return s.Controller.RunEpoch(work)
+}
+
+// Close releases the system's checkpointing resources.
+func (s *System) Close() error { return s.Controller.Close() }

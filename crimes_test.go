@@ -1,0 +1,146 @@
+package crimes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/workload"
+)
+
+func TestLaunchDefaults(t *testing.T) {
+	sys, err := Launch(Options{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer sys.Close()
+	if sys.Guest.Profile().OS != guestos.Linux {
+		t.Fatal("default guest is not Linux")
+	}
+	res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		_, err := g.StartProcess("hello", 0, 4)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	if res.Incident != nil {
+		t.Fatalf("clean epoch produced incident: %+v", res.Incident)
+	}
+}
+
+func TestLaunchWindows(t *testing.T) {
+	sys, err := Launch(Options{Windows: true})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer sys.Close()
+	if sys.Guest.Profile().OS != guestos.Windows {
+		t.Fatal("guest is not Windows")
+	}
+}
+
+func TestPublicAPIOverflowScenario(t *testing.T) {
+	// The quickstart scenario through the public facade only.
+	sys, err := Launch(Options{
+		Seed: 4,
+		Config: Config{
+			EpochInterval:    20 * time.Millisecond,
+			ReplayOnIncident: true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer sys.Close()
+
+	var pid uint32
+	var buf uint64
+	if _, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		if pid, err = g.StartProcess("victim", 0, 8); err != nil {
+			return err
+		}
+		buf, err = g.Malloc(pid, 32)
+		return err
+	}); err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		return g.WriteUser(pid, buf, bytes.Repeat([]byte{7}, 48))
+	})
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	if res.Incident == nil || res.Incident.Pinpoint == nil {
+		t.Fatal("overflow not detected+pinpointed via public API")
+	}
+	if !strings.Contains(res.Incident.Report.Render(), "pinpointed") {
+		t.Fatal("report missing pinpoint")
+	}
+}
+
+func TestDefaultModulesCoverAllKinds(t *testing.T) {
+	mods := DefaultModules()
+	if len(mods) != 4 {
+		t.Fatalf("DefaultModules = %d, want 4", len(mods))
+	}
+	names := map[string]bool{}
+	for _, m := range mods {
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"canary-overflow", "malware-blacklist", "syscall-integrity", "hidden-process"} {
+		if !names[want] {
+			t.Fatalf("missing module %s", want)
+		}
+	}
+}
+
+func TestFacadeWithWorkloadRunner(t *testing.T) {
+	// A PARSEC workload runs cleanly for several epochs under the full
+	// default module stack (no false positives through the facade).
+	sys, err := Launch(Options{GuestPages: 2048, Config: Config{EpochInterval: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer sys.Close()
+	spec, err := workload.ParsecByName("volrend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRunner(spec, 64)
+	for i := 0; i < 4; i++ {
+		res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+			return r.RunEpoch(g, 100*time.Millisecond)
+		})
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		if len(res.Findings) != 0 {
+			t.Fatalf("false positive: %+v", res.Findings)
+		}
+	}
+}
+
+func TestModeConstantsWiredThrough(t *testing.T) {
+	sys, err := Launch(Options{
+		Config: Config{
+			Safety:  BestEffort,
+			Scan:    ScanSync,
+			Opt:     OptMemcpy,
+			Modules: []Module{detect.SyscallModule{}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer sys.Close()
+	if sys.Controller.Checkpointer().Optimization() != OptMemcpy {
+		t.Fatal("optimization option not applied")
+	}
+	if sys.Controller.Buffer().Mode() != BestEffort {
+		t.Fatal("safety mode not applied")
+	}
+}

@@ -1,0 +1,88 @@
+// Honeypot: the extension sketched in the paper's §6 — after CRIMES
+// detects an attack, the compromised VM is not destroyed but converted
+// into a carefully monitored honeypot: its outputs are quarantined and
+// its kernel structure pages are put under write-event monitoring, so
+// the attacker's next moves (C2 beacons, kernel tampering, droppers)
+// are observed and recorded without any external effect.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/guestos"
+	"repro/internal/honeypot"
+
+	crimes "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := crimes.Launch(crimes.Options{
+		Config: crimes.Config{EpochInterval: 50 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// The compromise: a heap overflow caught by the canary audit.
+	var pid uint32
+	var buf uint64
+	if _, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		if pid, err = g.StartProcess("victim", 1000, 8); err != nil {
+			return err
+		}
+		buf, err = g.Malloc(pid, 64)
+		return err
+	}); err != nil {
+		return err
+	}
+	res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		return g.WriteUser(pid, buf, bytes.Repeat([]byte{'A'}, 80))
+	})
+	if err != nil {
+		return err
+	}
+	if res.Incident == nil {
+		return fmt.Errorf("expected the overflow to be detected")
+	}
+	fmt.Printf("incident at epoch %d: %s\n", res.Incident.Epoch, res.Findings[0].Description)
+	fmt.Println("converting the compromised VM into a monitored honeypot...")
+
+	hp, err := honeypot.Convert(sys.Guest)
+	if err != nil {
+		return err
+	}
+	// The "attacker" keeps working inside the quarantined VM.
+	if _, err := hp.RunEpoch(func(g *guestos.Guest) error {
+		if err := g.SendPacket(pid, [4]byte{66, 66, 66, 66}, 6666, []byte("c2 checkin")); err != nil {
+			return err
+		}
+		return g.HijackSyscall(9, 0xdead)
+	}); err != nil {
+		return err
+	}
+	if _, err := hp.RunEpoch(func(g *guestos.Guest) error {
+		mpid, err := g.StartProcess("cryptolocker", 0, 4)
+		if err != nil {
+			return err
+		}
+		return g.WriteDisk(mpid, "/tmp/dropper.bin", []byte("second stage payload"))
+	}); err != nil {
+		return err
+	}
+	if err := hp.Release(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println(hp.Report())
+	return nil
+}

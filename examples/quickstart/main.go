@@ -1,0 +1,73 @@
+// Quickstart: protect a guest with CRIMES, trigger a heap buffer
+// overflow, and watch the framework detect it at the epoch boundary,
+// discard the attack's outputs, replay the epoch to pinpoint the exact
+// corrupting write, and emit a forensic report.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/guestos"
+
+	crimes "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := crimes.Launch(crimes.Options{
+		Config: crimes.Config{
+			EpochInterval:    50 * time.Millisecond,
+			ReplayOnIncident: true,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// Epoch 1: a benign application allocates a 64-byte buffer through
+	// the guest's canary-placing malloc.
+	var pid uint32
+	var buf uint64
+	if _, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		if pid, err = g.StartProcess("victim-app", 1000, 8); err != nil {
+			return err
+		}
+		buf, err = g.Malloc(pid, 64)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Println("epoch 1: clean, checkpoint committed")
+
+	// Epoch 2: a classic C bug — 80 bytes written into the 64-byte
+	// buffer, overrunning the canary; then an exfiltration attempt.
+	res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+		if err := g.WriteUser(pid, buf, bytes.Repeat([]byte{'A'}, 80)); err != nil {
+			return err
+		}
+		return g.SendPacket(pid, [4]byte{203, 0, 113, 7}, 4444, []byte("stolen"))
+	})
+	if err != nil {
+		return err
+	}
+	if res.Incident == nil {
+		return fmt.Errorf("expected the overflow to be detected")
+	}
+
+	fmt.Printf("epoch 2: AUDIT FAILED — %s\n", res.Findings[0].Description)
+	fmt.Printf("outputs discarded (never left the VM): %d\n", sys.Controller.Buffer().Discarded())
+	if res.Incident.Pinpoint != nil {
+		fmt.Printf("replay pinpointed the write: %s\n\n", res.Incident.Pinpoint.Describe())
+	}
+	fmt.Println(res.Incident.Report.Render())
+	return nil
+}

@@ -1,0 +1,101 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/volatility"
+)
+
+// Postmortem assembles the comprehensive security report from the
+// captured dumps and findings (§3.3 Postmortem Analysis, §5.5, §5.6).
+// For malware findings it extracts the executable image (procdump),
+// gathers socket and file-handle forensics (netscan, handles) from both
+// bracketing dumps and diffs them; for overflow findings it extracts
+// the victim process image and memory map.
+func Postmortem(d *Dumps, findings []detect.Finding, pin *Pinpoint) (*volatility.Report, error) {
+	rep := &volatility.Report{Title: reportTitle(findings)}
+
+	analysisDump := d.AuditFail
+	if d.AtAttack != nil {
+		analysisDump = d.AtAttack
+	}
+
+	diff, err := volatility.Diff(d.LastGood, d.AuditFail)
+	if err != nil {
+		return nil, fmt.Errorf("analyze postmortem: diff: %w", err)
+	}
+	rep.Diff = diff
+
+	xview, err := volatility.PsXView(analysisDump)
+	if err != nil {
+		return nil, fmt.Errorf("analyze postmortem: psxview: %w", err)
+	}
+	rep.XView = xview
+
+	socks, err := volatility.NetScan(analysisDump)
+	if err != nil {
+		return nil, fmt.Errorf("analyze postmortem: netscan: %w", err)
+	}
+	rep.Sockets = socks
+
+	files, err := volatility.Handles(analysisDump)
+	if err != nil {
+		return nil, fmt.Errorf("analyze postmortem: handles: %w", err)
+	}
+	rep.Files = files
+
+	procs, err := volatility.PsList(analysisDump)
+	if err != nil {
+		return nil, fmt.Errorf("analyze postmortem: pslist: %w", err)
+	}
+
+	for _, f := range findings {
+		switch f.Kind {
+		case detect.KindMalware, detect.KindHiddenProcess:
+			for _, p := range procs {
+				if p.PID == f.PID {
+					rep.Malware = append(rep.Malware, p)
+				}
+			}
+			if pd, err := volatility.ProcDump(analysisDump, f.PID); err == nil {
+				rep.Extracted = pd
+			}
+		case detect.KindBufferOverflow:
+			rep.Notes = append(rep.Notes, f.Description)
+		case detect.KindSyscallHijack:
+			rep.Notes = append(rep.Notes, f.Description)
+		}
+	}
+
+	if pin != nil {
+		rep.Notes = append(rep.Notes, "attack pinpointed by replay: "+pin.Describe())
+		// Extract the victim process image at the attack point for
+		// stack/heap inspection (§5.5: linux_dump_map + linux_proc_map).
+		if pd, err := volatility.ProcDump(analysisDump, pin.Op.PID); err == nil {
+			rep.Extracted = pd
+			if maps, err := volatility.ProcMaps(analysisDump, pin.Op.PID); err == nil {
+				rep.Notes = append(rep.Notes, "victim memory map:\n"+maps)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func reportTitle(findings []detect.Finding) string {
+	if len(findings) == 0 {
+		return "Security Audit"
+	}
+	switch findings[0].Kind {
+	case detect.KindBufferOverflow:
+		return "Buffer Overflow Post-Mortem Analysis"
+	case detect.KindMalware:
+		return "Malware Post-Mortem Analysis"
+	case detect.KindSyscallHijack:
+		return "Kernel Integrity Post-Mortem Analysis"
+	case detect.KindHiddenProcess:
+		return "Hidden Process Post-Mortem Analysis"
+	default:
+		return "Security Audit"
+	}
+}

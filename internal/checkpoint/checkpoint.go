@@ -1,0 +1,360 @@
+// Package checkpoint implements the CRIMES Checkpointer (§3.1, §4.1):
+// continuous checkpointing of a primary domain into a local backup
+// domain, with the paper's three optimizations selectable independently:
+//
+//	No-opt:  Remus path — per-epoch foreign mapping of dirty pages,
+//	         serialization through an encrypted socket to a Restore
+//	         process, bit-by-bit dirty bitmap scan.
+//	Memcpy:  Optimization 1 — direct in-memory copy into the backup
+//	         domain's frames (maps both VMs' pages each epoch).
+//	Pre-map: Optimization 2 — the full PFN-to-MFN mapping of both VMs
+//	         resolved once at startup into flat arrays.
+//	Full:    Optimization 3 — word-granularity dirty bitmap scanning.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hv"
+	"repro/internal/mem"
+	"repro/internal/remus"
+	"repro/internal/vdisk"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("checkpoint: checkpointer closed")
+
+// Checkpointer keeps a backup domain synchronized with a primary by
+// copying dirty pages at every epoch boundary. The backup is always the
+// most recent clean snapshot (the paper keeps it on the local host for
+// security rather than remote for availability).
+type Checkpointer struct {
+	hv      *hv.Hypervisor
+	primary *hv.Domain
+	backup  *hv.Domain
+	opt     cost.Optimization
+
+	dirty   *mem.Bitmap
+	scratch []mem.PFN
+
+	// Premap/Full: global mappings built once.
+	gmPrimary *hv.GlobalMapping
+	gmBackup  *hv.GlobalMapping
+
+	// No-opt: encrypted socket conduit to the restore process.
+	conduit *remus.Conduit
+
+	// Disk-snapshot extension (§3.1): when attached, the disk's dirty
+	// blocks are replicated to a backup disk at each checkpoint and
+	// rolled back with memory.
+	disk        *vdisk.Disk
+	backupDisk  *vdisk.Disk
+	diskScratch []mem.PFN
+
+	// Remote replication (§4.1: "If users desire both high availability
+	// and security, CRIMES could be configured to perform remote
+	// checkpoints"): dirty pages are additionally shipped over an
+	// encrypted conduit to a second, remote backup domain.
+	remote        *hv.Domain
+	remoteConduit *remus.Conduit
+
+	closed bool
+}
+
+// New creates a checkpointer for the primary domain at the given
+// optimization level, allocates the backup domain (doubling the VM's
+// memory cost, §3.3), and performs the initial full synchronization.
+func New(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization) (*Checkpointer, error) {
+	backup, err := h.CreateDomain(primary.Name()+"-backup", primary.Pages())
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create backup: %w", err)
+	}
+	c := &Checkpointer{
+		hv:      h,
+		primary: primary,
+		backup:  backup,
+		opt:     opt,
+		dirty:   mem.NewBitmap(primary.Pages()),
+		scratch: make([]mem.PFN, 0, primary.Pages()),
+	}
+	if opt >= cost.Premap {
+		if c.gmPrimary, err = h.MapAll(primary); err != nil {
+			return nil, fmt.Errorf("checkpoint: premap primary: %w", err)
+		}
+		if c.gmBackup, err = h.MapAll(backup); err != nil {
+			return nil, fmt.Errorf("checkpoint: premap backup: %w", err)
+		}
+	}
+	if opt == cost.NoOpt {
+		key := []byte("crimes-remus-key")
+		if c.conduit, err = remus.NewConduit(h, backup, key); err != nil {
+			return nil, err
+		}
+	}
+	// Initial synchronization: ship every page, as live migration's
+	// final stop-and-copy does.
+	primary.EnableDirtyLogging()
+	primary.MarkAllDirty()
+	if _, err := c.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("checkpoint: initial sync: %w", err)
+	}
+	return c, nil
+}
+
+// AttachDisk enables disk checkpointing for the primary's block device:
+// the backup disk is allocated and fully synchronized.
+func (c *Checkpointer) AttachDisk(d *vdisk.Disk) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.disk = d
+	c.backupDisk = vdisk.New(d.Blocks())
+	d.EnableDirtyLogging()
+	d.MarkAllDirty()
+	blocks := d.HarvestDirty(nil)
+	if err := d.CopyBlocksTo(c.backupDisk, blocks); err != nil {
+		return fmt.Errorf("checkpoint: initial disk sync: %w", err)
+	}
+	return nil
+}
+
+// BackupDisk returns the backup block device, or nil.
+func (c *Checkpointer) BackupDisk() *vdisk.Disk { return c.backupDisk }
+
+// EnableRemoteReplication adds Remus-style high availability on top of
+// the local security checkpoints: every epoch's dirty pages are also
+// shipped, encrypted, to a remote backup domain. This restores the
+// availability guarantee CRIMES trades away by keeping its backup local
+// (§4.1), at the cost of paying the socket path again.
+func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.remote != nil {
+		return errors.New("checkpoint: remote replication already enabled")
+	}
+	remote, err := c.hv.CreateDomain(c.primary.Name()+"-remote", c.primary.Pages())
+	if err != nil {
+		return fmt.Errorf("checkpoint: create remote backup: %w", err)
+	}
+	conduit, err := remus.NewConduit(c.hv, remote, key)
+	if err != nil {
+		return err
+	}
+	c.remote = remote
+	c.remoteConduit = conduit
+	// Initial full sync of the remote.
+	all := make([]mem.PFN, c.primary.Pages())
+	for i := range all {
+		all[i] = mem.PFN(i)
+	}
+	if err := c.shipRemote(all); err != nil {
+		return fmt.Errorf("checkpoint: initial remote sync: %w", err)
+	}
+	return nil
+}
+
+// Remote returns the remote backup domain, or nil.
+func (c *Checkpointer) Remote() *hv.Domain { return c.remote }
+
+func (c *Checkpointer) shipRemote(dirty []mem.PFN) error {
+	fmP, err := c.hv.MapForeign(c.primary, dirty)
+	if err != nil {
+		return err
+	}
+	defer fmP.Unmap()
+	return c.remoteConduit.SendCheckpoint(dirty, fmP.Page)
+}
+
+// Backup returns the backup domain holding the most recent clean
+// snapshot.
+func (c *Checkpointer) Backup() *hv.Domain { return c.backup }
+
+// Primary returns the protected domain.
+func (c *Checkpointer) Primary() *hv.Domain { return c.primary }
+
+// Optimization returns the active optimization level.
+func (c *Checkpointer) Optimization() cost.Optimization { return c.opt }
+
+// Checkpoint propagates the pages dirtied since the previous checkpoint
+// into the backup domain and returns the real operation counts for cost
+// accounting. The caller is responsible for pausing the primary first.
+func (c *Checkpointer) Checkpoint() (cost.Counts, error) {
+	if c.closed {
+		return cost.Counts{}, ErrClosed
+	}
+	if err := c.primary.HarvestDirty(c.dirty); err != nil {
+		return cost.Counts{}, err
+	}
+	return c.checkpointDirty()
+}
+
+// CheckpointBitmap is Checkpoint for a caller that already harvested
+// the epoch's dirty bitmap (the CRIMES controller harvests once and
+// shares the bitmap with the Detector for dirty-scoped scans, §3.2).
+func (c *Checkpointer) CheckpointBitmap(dirty *mem.Bitmap) (cost.Counts, error) {
+	if c.closed {
+		return cost.Counts{}, ErrClosed
+	}
+	if err := c.dirty.CopyFrom(dirty); err != nil {
+		return cost.Counts{}, err
+	}
+	return c.checkpointDirty()
+}
+
+func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
+
+	// Dirty bitmap scan: the Full level uses the word-granularity scan.
+	if c.opt >= cost.Full {
+		c.scratch = c.dirty.ScanWords(c.scratch[:0])
+	} else {
+		c.scratch = c.dirty.ScanBits(c.scratch[:0])
+	}
+	dirty := c.scratch
+
+	counts := cost.Counts{
+		TotalPages:  c.primary.Pages(),
+		DirtyPages:  len(dirty),
+		BytesCopied: len(dirty) * mem.PageSize,
+	}
+
+	var err error
+	switch {
+	case c.opt >= cost.Premap:
+		err = c.copyPremapped(dirty)
+	case c.opt == cost.Memcpy:
+		err = c.copyMapped(dirty)
+	default:
+		err = c.copySocket(dirty)
+	}
+	if err != nil {
+		return cost.Counts{}, err
+	}
+	if c.disk != nil {
+		c.diskScratch = c.disk.HarvestDirty(c.diskScratch[:0])
+		if err := c.disk.CopyBlocksTo(c.backupDisk, c.diskScratch); err != nil {
+			return cost.Counts{}, err
+		}
+		counts.DiskBlocks = len(c.diskScratch)
+		counts.BytesCopied += len(c.diskScratch) * vdisk.BlockSize
+	}
+	if c.remote != nil {
+		if err := c.shipRemote(dirty); err != nil {
+			return cost.Counts{}, err
+		}
+		counts.RemotePages = len(dirty)
+	}
+	return counts, nil
+}
+
+// copyPremapped copies dirty pages through the startup-time global
+// mappings (Optimizations 1+2).
+func (c *Checkpointer) copyPremapped(dirty []mem.PFN) error {
+	for _, pfn := range dirty {
+		src, err := c.gmPrimary.Page(pfn)
+		if err != nil {
+			return err
+		}
+		dst, err := c.gmBackup.Page(pfn)
+		if err != nil {
+			return err
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// copyMapped maps the dirty pages of both VMs for this epoch only, then
+// copies (Optimization 1 alone).
+func (c *Checkpointer) copyMapped(dirty []mem.PFN) error {
+	fmP, err := c.hv.MapForeign(c.primary, dirty)
+	if err != nil {
+		return err
+	}
+	defer fmP.Unmap()
+	fmB, err := c.hv.MapForeign(c.backup, dirty)
+	if err != nil {
+		return err
+	}
+	defer fmB.Unmap()
+	for _, pfn := range dirty {
+		src, err := fmP.Page(pfn)
+		if err != nil {
+			return err
+		}
+		dst, err := fmB.Page(pfn)
+		if err != nil {
+			return err
+		}
+		copy(dst, src)
+	}
+	return nil
+}
+
+// copySocket ships the dirty pages through the encrypted Remus conduit
+// to the restore process (the unoptimized baseline).
+func (c *Checkpointer) copySocket(dirty []mem.PFN) error {
+	fmP, err := c.hv.MapForeign(c.primary, dirty)
+	if err != nil {
+		return err
+	}
+	defer fmP.Unmap()
+	return c.conduit.SendCheckpoint(dirty, fmP.Page)
+}
+
+// Rollback copies the backup's memory back into the primary — the
+// Analyzer's first response step after a failed audit.
+func (c *Checkpointer) Rollback() error {
+	if c.closed {
+		return ErrClosed
+	}
+	snap, err := c.backup.DumpMemory()
+	if err != nil {
+		return fmt.Errorf("checkpoint: rollback dump: %w", err)
+	}
+	if err := c.primary.RestoreMemory(snap); err != nil {
+		return fmt.Errorf("checkpoint: rollback restore: %w", err)
+	}
+	if c.disk != nil {
+		if err := c.backupDisk.CopyBlocksTo(c.disk, allBlocks(c.disk.Blocks())); err != nil {
+			return fmt.Errorf("checkpoint: rollback disk: %w", err)
+		}
+		c.disk.MarkAllDirty()
+	}
+	// Everything was rewritten; restart dirty tracking from a full set
+	// so the next checkpoint re-synchronizes.
+	c.primary.MarkAllDirty()
+	return nil
+}
+
+func allBlocks(n int) []mem.PFN {
+	out := make([]mem.PFN, n)
+	for i := range out {
+		out[i] = mem.PFN(i)
+	}
+	return out
+}
+
+// Close releases the conduit and mappings. The backup domain is left
+// intact for post-mortem use.
+func (c *Checkpointer) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.gmPrimary != nil {
+		c.gmPrimary.Unmap()
+		c.gmBackup.Unmap()
+	}
+	if c.remoteConduit != nil {
+		if err := c.remoteConduit.Close(); err != nil {
+			return err
+		}
+	}
+	if c.conduit != nil {
+		return c.conduit.Close()
+	}
+	return nil
+}

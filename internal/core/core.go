@@ -1,0 +1,509 @@
+// Package core implements the CRIMES controller: the epoch loop that
+// ties speculative execution, output buffering, detection, continuous
+// checkpointing, and post-attack analysis together (Figure 1).
+//
+// Each epoch: the guest executes speculatively with outputs buffered;
+// at the epoch boundary the domain is paused, the Detector audits the
+// VM through introspection (scoped to the epoch's dirty pages), and on
+// a passing audit the Checkpointer commits the epoch and the buffered
+// outputs are released. On a failing audit the outputs are discarded,
+// dumps are captured, and the Analyzer rolls back and replays the epoch
+// to pinpoint the attack before producing a forensic report.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analyze"
+	"repro/internal/checkpoint"
+	"repro/internal/cost"
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/mem"
+	"repro/internal/netbuf"
+	"repro/internal/vdisk"
+	"repro/internal/vmi"
+	"repro/internal/volatility"
+)
+
+// ErrHalted is returned from RunEpoch after an incident paused the VM.
+var ErrHalted = errors.New("core: VM halted by incident")
+
+// ScanMode selects when the audit runs relative to the checkpoint.
+type ScanMode int
+
+// Scan scheduling modes.
+const (
+	// ScanSync audits before committing the epoch: combined with
+	// Synchronous buffering this is the paper's zero-window-of-
+	// vulnerability configuration.
+	ScanSync ScanMode = iota + 1
+	// ScanAsync audits the previous checkpoint (the backup domain)
+	// while the VM keeps running — cheaper, but evidence is found one
+	// epoch late and outputs may already have left (§5.3, future work).
+	ScanAsync
+)
+
+// String renders the scan mode.
+func (m ScanMode) String() string {
+	if m == ScanAsync {
+		return "async"
+	}
+	return "sync"
+}
+
+// Config configures a CRIMES controller.
+type Config struct {
+	// EpochInterval is the speculative execution window (10 ms to a few
+	// hundred ms, §3.1).
+	EpochInterval time.Duration
+	// Safety selects Synchronous (buffered) or BestEffort outputs.
+	Safety netbuf.Mode
+	// Scan selects synchronous or asynchronous audits.
+	Scan ScanMode
+	// Opt is the checkpointing optimization level.
+	Opt cost.Optimization
+	// Model prices operations in virtual time.
+	Model cost.Model
+	// Modules are the detector scan modules.
+	Modules []detect.Module
+	// Deliverer receives released outputs; nil collects them internally.
+	Deliverer netbuf.Deliverer
+	// HistoryDepth keeps the last N checkpoints for forensics instead
+	// of only the most recent one (the paper's proposed extension).
+	HistoryDepth int
+	// ReplayOnIncident enables rollback-and-replay pinpointing for
+	// buffer-overflow incidents (§3.3 "optional").
+	ReplayOnIncident bool
+	// DiskBlocks, when positive, attaches a virtual block device of
+	// that size to the guest and checkpoints it alongside memory (the
+	// paper's disk-snapshot extension).
+	DiskBlocks int
+}
+
+func (c *Config) setDefaults() {
+	if c.EpochInterval <= 0 {
+		c.EpochInterval = 200 * time.Millisecond
+	}
+	if c.Safety == 0 {
+		c.Safety = netbuf.Synchronous
+	}
+	if c.Scan == 0 {
+		c.Scan = ScanSync
+	}
+	if c.Opt == 0 {
+		c.Opt = cost.Full
+	}
+	if c.Model == (cost.Model{}) {
+		c.Model = cost.Default()
+	}
+	if c.Deliverer == nil {
+		c.Deliverer = &netbuf.CollectDeliverer{}
+	}
+}
+
+// HistoryEntry is one retained checkpoint.
+type HistoryEntry struct {
+	Epoch    int
+	Snapshot *hv.Snapshot
+	State    *guestos.State
+}
+
+// Controller is a CRIMES instance protecting one guest.
+type Controller struct {
+	cfg   Config
+	hv    *hv.Hypervisor
+	guest *guestos.Guest
+	dom   *hv.Domain
+
+	vmiCtx    *vmi.Context
+	vmiBackup *vmi.Context
+	detector  *detect.Detector
+	ckpt      *checkpoint.Checkpointer
+	buf       *netbuf.Buffer
+
+	dirty     *mem.Bitmap
+	lastState *guestos.State
+
+	epoch      int
+	virtualNow time.Duration
+	setupTime  time.Duration
+	totalPause time.Duration
+	halted     bool
+
+	history []HistoryEntry
+}
+
+// New creates a controller: it initializes introspection (init +
+// preprocess), wires the output buffer into the guest, creates the
+// backup domain and performs the initial synchronization.
+func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
+	cfg.setDefaults()
+	c := &Controller{
+		cfg:   cfg,
+		hv:    h,
+		guest: g,
+		dom:   g.Domain(),
+		dirty: mem.NewBitmap(g.Domain().Pages()),
+	}
+
+	ctx, err := vmi.NewContext(c.dom, g.Profile(), g.SystemMap())
+	if err != nil {
+		return nil, fmt.Errorf("core: vmi init: %w", err)
+	}
+	if err := ctx.Preprocess(); err != nil {
+		return nil, fmt.Errorf("core: vmi preprocess: %w", err)
+	}
+	c.vmiCtx = ctx
+	c.setupTime += time.Duration(cfg.Model.VMIInitNs + cfg.Model.VMIPreprocessNs)
+
+	c.detector = detect.NewDetector(cfg.Modules...)
+	c.buf = netbuf.New(cfg.Safety, cfg.Deliverer)
+	g.SetOutputSink(c.buf)
+
+	if c.ckpt, err = checkpoint.New(h, c.dom, cfg.Opt); err != nil {
+		return nil, err
+	}
+	if cfg.DiskBlocks > 0 {
+		disk := vdisk.New(cfg.DiskBlocks)
+		g.AttachDisk(disk)
+		if err := c.ckpt.AttachDisk(disk); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Opt >= cost.Premap {
+		c.setupTime += cfg.Model.PremapStartup(2 * c.dom.Pages())
+	}
+	if cfg.Scan == ScanAsync {
+		bctx, err := vmi.NewContext(c.ckpt.Backup(), g.Profile(), g.SystemMap())
+		if err != nil {
+			return nil, fmt.Errorf("core: backup vmi init: %w", err)
+		}
+		if err := bctx.Preprocess(); err != nil {
+			return nil, fmt.Errorf("core: backup vmi preprocess: %w", err)
+		}
+		c.vmiBackup = bctx
+	}
+	c.lastState = g.CloneState()
+	return c, nil
+}
+
+// Guest returns the protected guest.
+func (c *Controller) Guest() *guestos.Guest { return c.guest }
+
+// Buffer returns the output buffer (for inspection in tests and tools).
+func (c *Controller) Buffer() *netbuf.Buffer { return c.buf }
+
+// Checkpointer returns the underlying checkpointer.
+func (c *Controller) Checkpointer() *checkpoint.Checkpointer { return c.ckpt }
+
+// VirtualTime returns accumulated virtual execution time (epochs plus
+// paused intervals).
+func (c *Controller) VirtualTime() time.Duration { return c.virtualNow }
+
+// TotalPause returns accumulated virtual paused time.
+func (c *Controller) TotalPause() time.Duration { return c.totalPause }
+
+// SetupTime returns the one-time initialization cost (VMI init and
+// preprocessing, premapping).
+func (c *Controller) SetupTime() time.Duration { return c.setupTime }
+
+// Epoch returns the number of completed epochs.
+func (c *Controller) Epoch() int { return c.epoch }
+
+// Halted reports whether an incident has stopped the VM.
+func (c *Controller) Halted() bool { return c.halted }
+
+// History returns the retained checkpoint history (most recent last).
+func (c *Controller) History() []HistoryEntry {
+	out := make([]HistoryEntry, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Close releases the checkpointer resources.
+func (c *Controller) Close() error { return c.ckpt.Close() }
+
+// EpochResult reports what one epoch did.
+type EpochResult struct {
+	Epoch    int
+	Findings []detect.Finding
+	Counts   cost.Counts
+	Phases   cost.Phases
+	Incident *Incident
+	// VirtualTime is the controller's clock after this epoch.
+	VirtualTime time.Duration
+}
+
+// Incident is a failed audit plus the Analyzer's output.
+type Incident struct {
+	Epoch    int
+	Findings []detect.Finding
+	Pinpoint *analyze.Pinpoint
+	Dumps    *analyze.Dumps
+	Report   *volatility.Report
+	Timeline Timeline
+}
+
+// SaveDumps writes the incident's memory dumps to dir as
+// .crimesdump files — the paper's "three full system checkpoints for
+// future analysis" (§5.5) — and returns the written paths. They can be
+// analyzed offline with cmd/crimes-forensics.
+func (inc *Incident) SaveDumps(dir string) ([]string, error) {
+	if inc.Dumps == nil {
+		return nil, errors.New("core: incident has no dumps")
+	}
+	var paths []string
+	save := func(name string, d *volatility.Dump) error {
+		if d == nil {
+			return nil
+		}
+		path := filepath.Join(dir, fmt.Sprintf("epoch%d-%s.crimesdump", inc.Epoch, name))
+		if err := d.SaveFile(path); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	if err := save("last-good", inc.Dumps.LastGood); err != nil {
+		return nil, err
+	}
+	if err := save("audit-fail", inc.Dumps.AuditFail); err != nil {
+		return nil, err
+	}
+	if err := save("at-attack", inc.Dumps.AtAttack); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// Timeline prices the detection-and-response sequence of Figure 8.
+type Timeline struct {
+	// AttackToEpochEnd is the speculative time between the attack op
+	// and the epoch boundary where it was caught.
+	AttackToEpochEnd time.Duration
+	// SuspendAndScan is the pause plus audit cost at detection.
+	SuspendAndScan time.Duration
+	// ReplayReady is when the rolled-back VM resumed for replay.
+	ReplayReady time.Duration
+	// MemDump is the Volatility process-dump extraction time.
+	MemDump time.Duration
+	// CheckpointsToDisk is the time to persist the full system
+	// checkpoints for later analysis.
+	CheckpointsToDisk time.Duration
+}
+
+// RunEpoch speculatively executes one epoch of guest work, then runs
+// the audit/commit/respond cycle. After an incident it returns the
+// incident result; further calls return ErrHalted.
+func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, error) {
+	if c.halted {
+		return nil, ErrHalted
+	}
+	c.epoch++
+	res := &EpochResult{Epoch: c.epoch}
+
+	// Speculative execution.
+	c.guest.BeginEpoch()
+	if work != nil {
+		if err := work(c.guest); err != nil {
+			return nil, fmt.Errorf("core: epoch %d workload: %w", c.epoch, err)
+		}
+	}
+	c.virtualNow += c.cfg.EpochInterval
+
+	// Pause at the epoch boundary.
+	if err := c.dom.Pause(); err != nil {
+		return nil, err
+	}
+	if err := c.dom.Suspend(); err != nil {
+		return nil, err
+	}
+	if err := c.dom.HarvestDirty(c.dirty); err != nil {
+		return nil, err
+	}
+
+	scanCounts := &detect.ScanCounts{}
+	var findings []detect.Finding
+	if c.cfg.Scan == ScanSync {
+		var err error
+		findings, err = c.detector.Scan(&detect.ScanContext{
+			VMI: c.vmiCtx, Dirty: c.dirty, Counts: scanCounts,
+			Packets: c.buf.PendingPackets(), DiskWrites: c.buf.PendingDisks(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: epoch %d audit: %w", c.epoch, err)
+		}
+	}
+
+	if len(findings) > 0 {
+		inc, err := c.respond(findings, scanCounts)
+		if err != nil {
+			return nil, err
+		}
+		res.Findings = findings
+		res.Incident = inc
+		res.VirtualTime = c.virtualNow
+		c.halted = true
+		return res, nil
+	}
+
+	// Audit passed (or deferred): commit the epoch.
+	counts, err := c.ckpt.CheckpointBitmap(c.dirty)
+	if err != nil {
+		return nil, err
+	}
+	counts.VMINodes = scanCounts.NodesWalked
+	counts.Canaries = scanCounts.CanariesChecked
+	c.buf.Release()
+	c.lastState = c.guest.CloneState()
+	if c.cfg.HistoryDepth > 0 {
+		if err := c.retainHistory(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.dom.Resume(); err != nil {
+		return nil, err
+	}
+
+	// Asynchronous audits inspect the checkpoint just committed while
+	// the VM continues to run.
+	if c.cfg.Scan == ScanAsync {
+		findings, err = c.detector.Scan(&detect.ScanContext{
+			VMI: c.vmiBackup, Counts: scanCounts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: epoch %d async audit: %w", c.epoch, err)
+		}
+		res.Findings = findings
+		if len(findings) > 0 {
+			// Too late to withhold outputs; still halt and report.
+			if err := c.dom.Pause(); err != nil {
+				return nil, err
+			}
+			inc, err := c.respondAsync(findings)
+			if err != nil {
+				return nil, err
+			}
+			res.Incident = inc
+			c.halted = true
+		}
+	}
+
+	res.Counts = counts
+	res.Phases = c.cfg.Model.Checkpoint(c.cfg.Opt, counts)
+	if c.cfg.Scan == ScanAsync {
+		// The audit does not extend the pause in async mode.
+		res.Phases.VMI = 0
+	}
+	c.totalPause += res.Phases.Total()
+	c.virtualNow += res.Phases.Total()
+	res.VirtualTime = c.virtualNow
+	return res, nil
+}
+
+func (c *Controller) retainHistory() error {
+	snap, err := c.ckpt.Backup().DumpMemory()
+	if err != nil {
+		return fmt.Errorf("core: retain history: %w", err)
+	}
+	c.history = append(c.history, HistoryEntry{
+		Epoch:    c.epoch,
+		Snapshot: snap,
+		State:    c.guest.CloneState(),
+	})
+	if len(c.history) > c.cfg.HistoryDepth {
+		c.history = c.history[len(c.history)-c.cfg.HistoryDepth:]
+	}
+	return nil
+}
+
+// respond is the synchronous failed-audit path: discard outputs,
+// capture dumps, optionally replay to pinpoint, and build the report.
+func (c *Controller) respond(findings []detect.Finding, scanCounts *detect.ScanCounts) (*Incident, error) {
+	c.buf.Discard()
+
+	dumps, err := analyze.CaptureDumps(c.guest, c.ckpt)
+	if err != nil {
+		return nil, err
+	}
+
+	inc := &Incident{Epoch: c.epoch, Findings: findings, Dumps: dumps}
+	ops := c.guest.EpochOps()
+
+	if c.cfg.ReplayOnIncident && hasOverflow(findings) {
+		pin, err := analyze.ReplayPinpoint(c.guest, c.ckpt, c.lastState, ops, findings)
+		if err != nil && !errors.Is(err, analyze.ErrNotPinpointed) {
+			return nil, err
+		}
+		inc.Pinpoint = pin
+		if pin != nil {
+			if err := dumps.CaptureAttackDump(c.guest); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	report, err := analyze.Postmortem(dumps, findings, inc.Pinpoint)
+	if err != nil {
+		return nil, err
+	}
+	inc.Report = report
+	inc.Timeline = c.timeline(findings, inc.Pinpoint, ops, scanCounts)
+	return inc, nil
+}
+
+// respondAsync handles detection on the committed checkpoint: outputs
+// are already released, so the response is forensic only.
+func (c *Controller) respondAsync(findings []detect.Finding) (*Incident, error) {
+	dumps, err := analyze.CaptureDumps(c.guest, c.ckpt)
+	if err != nil {
+		return nil, err
+	}
+	report, err := analyze.Postmortem(dumps, findings, nil)
+	if err != nil {
+		return nil, err
+	}
+	report.Notes = append(report.Notes,
+		"detected by asynchronous scan: outputs from the attack epoch may have been released")
+	return &Incident{Epoch: c.epoch, Findings: findings, Dumps: dumps, Report: report}, nil
+}
+
+func hasOverflow(findings []detect.Finding) bool {
+	for _, f := range findings {
+		if f.Kind == detect.KindBufferOverflow {
+			return true
+		}
+	}
+	return false
+}
+
+// timeline prices the Figure 8 attack-response sequence.
+func (c *Controller) timeline(findings []detect.Finding, pin *analyze.Pinpoint, ops []guestos.Op, sc *detect.ScanCounts) Timeline {
+	m := c.cfg.Model
+	var tl Timeline
+	// Position of the attack op within the epoch (fraction of interval).
+	frac := 0.5
+	if pin != nil && len(ops) > 0 {
+		for i, op := range ops {
+			if op.Seq == pin.OpSeq {
+				frac = float64(i+1) / float64(len(ops))
+				break
+			}
+		}
+	}
+	tl.AttackToEpochEnd = time.Duration((1 - frac) * float64(c.cfg.EpochInterval))
+	scanNs := m.VMIScanBaseNs + m.VMIPerNodeNs*float64(sc.NodesWalked) + m.CanaryCheckNs*float64(sc.CanariesChecked)
+	tl.SuspendAndScan = time.Duration(m.SuspendNs + scanNs)
+	// Rollback restores the full VM from the local backup (a memcpy of
+	// guest memory) and resumes.
+	rollbackNs := m.MemcpyByteNs * float64(c.dom.MemBytes())
+	tl.ReplayReady = tl.SuspendAndScan + time.Duration(rollbackNs+m.ResumeNs)
+	tl.MemDump = time.Duration(m.VolatilityDumpNs)
+	tl.CheckpointsToDisk = time.Duration(m.CheckpointToDiskNs)
+	return tl
+}

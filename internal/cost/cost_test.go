@@ -1,0 +1,165 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+// swaptionsCounts reproduces the Figure 4 configuration: a 1 GiB VM
+// dirtying ~2200 pages in a 200 ms epoch.
+func swaptionsCounts() Counts {
+	return Counts{
+		TotalPages:  1 << 30 / 4096,
+		DirtyPages:  2200,
+		BytesCopied: 2200 * 4096,
+		VMINodes:    12,
+		Canaries:    400,
+	}
+}
+
+func TestOptimizationOrdering(t *testing.T) {
+	m := Default()
+	c := swaptionsCounts()
+	var prev time.Duration = 1 << 62
+	for _, opt := range []Optimization{NoOpt, Memcpy, Premap, Full} {
+		total := m.Checkpoint(opt, c).Total()
+		if total >= prev {
+			t.Fatalf("%v pause %v not cheaper than previous %v", opt, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestFigure4Calibration(t *testing.T) {
+	m := Default()
+	c := swaptionsCounts()
+	noopt := m.Checkpoint(NoOpt, c).Total()
+	full := m.Checkpoint(Full, c).Total()
+	// Paper: 29.86 ms -> 10.21 ms (67% reduction). Accept +-20%.
+	if got := noopt.Seconds() * 1000; got < 24 || got > 36 {
+		t.Fatalf("No-opt pause = %.2f ms, want ~30", got)
+	}
+	if got := full.Seconds() * 1000; got < 8 || got > 13 {
+		t.Fatalf("Full pause = %.2f ms, want ~10", got)
+	}
+	reduction := 1 - float64(full)/float64(noopt)
+	if reduction < 0.55 || reduction > 0.8 {
+		t.Fatalf("pause reduction = %.0f%%, want ~67%%", 100*reduction)
+	}
+}
+
+func TestCopyDominatesNoOpt(t *testing.T) {
+	// Paper: "Copying data from the primary to backup alone takes about
+	// 70% of the total time spent in the paused state."
+	m := Default()
+	p := m.Checkpoint(NoOpt, swaptionsCounts())
+	share := float64(p.Copy) / float64(p.Total())
+	if share < 0.6 || share > 0.85 {
+		t.Fatalf("copy share = %.2f, want ~0.7", share)
+	}
+}
+
+func TestBitscanOptimization(t *testing.T) {
+	m := Default()
+	c := swaptionsCounts()
+	slow := m.Checkpoint(Premap, c).Bitscan
+	fast := m.Checkpoint(Full, c).Bitscan
+	if fast*5 > slow {
+		t.Fatalf("word scan %v not much faster than bit scan %v", fast, slow)
+	}
+	// Paper: 2.7 ms -> 0.14 ms for the 1 GiB VM.
+	if msv := slow.Seconds() * 1000; msv < 2 || msv > 4 {
+		t.Fatalf("bit scan = %.2f ms, want ~2.7", msv)
+	}
+	if msv := fast.Seconds() * 1000; msv > 0.5 {
+		t.Fatalf("word scan = %.2f ms, want ~0.15", msv)
+	}
+}
+
+func TestMemcpyMapsBothVMs(t *testing.T) {
+	m := Default()
+	c := swaptionsCounts()
+	memcpyMap := m.Checkpoint(Memcpy, c).Map
+	nooptMap := m.Checkpoint(NoOpt, c).Map
+	ratio := float64(memcpyMap) / float64(nooptMap)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("memcpy/no-opt map ratio = %.2f, want ~2 (maps both VMs)", ratio)
+	}
+	if premap := m.Checkpoint(Premap, c).Map; premap >= nooptMap/10 {
+		t.Fatalf("premap map cost %v not near-constant", premap)
+	}
+}
+
+func TestSocketSaturation(t *testing.T) {
+	m := Default()
+	small := Counts{TotalPages: 1000, DirtyPages: 100, BytesCopied: 100 * 4096}
+	big := Counts{TotalPages: 1000, DirtyPages: 100, BytesCopied: 100 * 4096 * 300}
+	perByteSmall := float64(m.Checkpoint(NoOpt, small).Copy) / float64(small.BytesCopied)
+	perByteBig := float64(m.Checkpoint(NoOpt, big).Copy) / float64(big.BytesCopied)
+	if perByteBig <= perByteSmall {
+		t.Fatal("socket path does not saturate with epoch size")
+	}
+	// The memcpy path must stay linear.
+	mSmall := float64(m.Checkpoint(Full, small).Copy) / float64(small.BytesCopied)
+	mBig := float64(m.Checkpoint(Full, big).Copy) / float64(big.BytesCopied)
+	if mBig != mSmall {
+		t.Fatal("memcpy path is not linear")
+	}
+}
+
+func TestCanaryRateMatchesPaper(t *testing.T) {
+	// §5.5: 90,000 canaries validated per millisecond -> ~11ns each.
+	m := Default()
+	perMs := 1e6 / m.CanaryCheckNs
+	if perMs < 80000 || perMs > 100000 {
+		t.Fatalf("canary rate = %.0f/ms, want ~90,000", perMs)
+	}
+}
+
+func TestVMISetupCostsMatchTable3(t *testing.T) {
+	m := Default()
+	if m.VMIInitNs < 60e6 || m.VMIInitNs > 75e6 {
+		t.Fatalf("VMI init = %.1f ms, want ~67", m.VMIInitNs/1e6)
+	}
+	if m.VMIPreprocessNs < 45e6 || m.VMIPreprocessNs > 60e6 {
+		t.Fatalf("VMI preprocess = %.1f ms, want ~54", m.VMIPreprocessNs/1e6)
+	}
+}
+
+func TestPhasesTotal(t *testing.T) {
+	p := Phases{Suspend: 1, VMI: 2, Bitscan: 3, Map: 4, Copy: 5, Resume: 6}
+	if p.Total() != 21 {
+		t.Fatalf("Total = %d", p.Total())
+	}
+}
+
+func TestOptimizationStrings(t *testing.T) {
+	for opt, want := range map[Optimization]string{
+		NoOpt: "No-opt", Memcpy: "Memcpy", Premap: "Pre-map", Full: "Full",
+	} {
+		if opt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", opt, opt.String(), want)
+		}
+	}
+}
+
+func TestBitmapScanStandalone(t *testing.T) {
+	m := Default()
+	pages := 16 << 30 / 4096 // 16 GiB VM
+	slow := m.BitmapScan(pages, pages/100, false)
+	fast := m.BitmapScan(pages, pages/100, true)
+	if fast >= slow {
+		t.Fatal("optimized scan not faster")
+	}
+	// Figure 6b: tens of ms unoptimized at 16 GiB.
+	if msv := slow.Seconds() * 1000; msv < 20 || msv > 100 {
+		t.Fatalf("16GiB bit scan = %.1f ms, want tens of ms", msv)
+	}
+}
+
+func TestPremapStartupScalesWithVMSize(t *testing.T) {
+	m := Default()
+	if m.PremapStartup(2000) <= m.PremapStartup(1000) {
+		t.Fatal("premap startup not increasing with pages")
+	}
+}

@@ -1,0 +1,100 @@
+package detect
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/vmi"
+)
+
+// DeepScanModule is the Volatility-grade heuristic sweep (§5.3): it
+// scans ALL of guest memory for process-record signatures, recovering
+// records that no kernel list reaches (fully unlinked rootkit
+// processes, residues of exited malware). Unlike the per-checkpoint
+// modules it ignores the dirty bitmap and reads every page, which is
+// why the paper proposes running such scans asynchronously against the
+// last checkpoint rather than inline: "complex security tools such as
+// Volatility could be used asynchronously on the last checkpoint as the
+// VM continues to run."
+type DeepScanModule struct{}
+
+var _ Module = DeepScanModule{}
+
+// Name implements Module.
+func (DeepScanModule) Name() string { return "deep-psscan" }
+
+// Scan implements Module.
+func (DeepScanModule) Scan(ctx *ScanContext) ([]Finding, error) {
+	prof := ctx.VMI.Profile()
+	listed, err := ctx.VMI.ProcessList()
+	if err != nil {
+		return nil, err
+	}
+	hashed, err := ctx.VMI.PIDHashList()
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[uint64]bool, len(listed)+len(hashed))
+	for _, p := range listed {
+		known[p.TaskVA] = true
+	}
+	for _, p := range hashed {
+		known[p.TaskVA] = true
+	}
+
+	var out []Finding
+	page := make([]byte, mem.PageSize+prof.TaskSize)
+	memBytes := ctx.VMI.MemBytes()
+	for pa := uint64(0); pa < memBytes; pa += mem.PageSize {
+		// Read a page plus the record-size tail so records spanning a
+		// page boundary are still parsed.
+		n := mem.PageSize + prof.TaskSize
+		if pa+uint64(n) > memBytes {
+			n = int(memBytes - pa)
+		}
+		if err := ctx.VMI.ReadPA(pa, page[:n]); err != nil {
+			return nil, fmt.Errorf("deep scan at %#x: %w", pa, err)
+		}
+		limit := mem.PageSize
+		if limit > n-prof.TaskSize {
+			limit = n - prof.TaskSize
+		}
+		for off := 0; off <= limit; off += 4 {
+			if binary.LittleEndian.Uint32(page[off:]) != prof.TaskMagic {
+				continue
+			}
+			rec := page[off : off+prof.TaskSize]
+			pid := binary.LittleEndian.Uint32(rec[prof.TaskOffPID:])
+			state := binary.LittleEndian.Uint32(rec[prof.TaskOffState:])
+			name := vmi.CStr(rec[prof.TaskOffComm : prof.TaskOffComm+prof.TaskCommLen])
+			va := pa + uint64(off) + prof.KernelVirtBase
+			if known[va] || pid == 0 || state != 1 || !printable(name) {
+				continue
+			}
+			out = append(out, Finding{
+				Module: "deep-psscan",
+				Kind:   KindHiddenProcess,
+				PID:    pid,
+				Name:   name,
+				TaskVA: va,
+				Description: fmt.Sprintf(
+					"live process record %q pid %d at %#x is reachable from no kernel list (fully unlinked)",
+					name, pid, va),
+			})
+		}
+	}
+	return out, nil
+}
+
+func printable(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 0x20 || r > 0x7e {
+			return false
+		}
+	}
+	return true
+}

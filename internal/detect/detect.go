@@ -1,0 +1,131 @@
+// Package detect implements the CRIMES Detector (§3.2, §4.2): a modular
+// framework of VMI-based security scans run at the end of each epoch
+// while the VM is paused. Modules are either "unaided" (they interpret
+// well-known kernel structures: process blacklists, syscall-table
+// integrity, hidden-process cross views) or "guest-aided" (they consume
+// tripwires the guest plants, such as the heap canary table).
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/vmi"
+)
+
+// Kind classifies a finding.
+type Kind int
+
+// Finding kinds.
+const (
+	KindBufferOverflow Kind = iota + 1
+	KindMalware
+	KindSyscallHijack
+	KindHiddenProcess
+	KindSuspiciousOutput
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBufferOverflow:
+		return "buffer-overflow"
+	case KindMalware:
+		return "malware"
+	case KindSyscallHijack:
+		return "syscall-hijack"
+	case KindHiddenProcess:
+		return "hidden-process"
+	case KindSuspiciousOutput:
+		return "suspicious-output"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Finding is one piece of attack evidence a module found.
+type Finding struct {
+	Module      string
+	Kind        Kind
+	Description string
+
+	// Buffer overflow fields.
+	CanaryPA    uint64
+	CanaryIndex int
+	Expected    uint64
+	Got         uint64
+
+	// Process-related fields.
+	PID    uint32
+	Name   string
+	TaskVA uint64
+
+	// Syscall hijack fields.
+	SyscallIndex int
+}
+
+// ScanContext is what the Checkpointer hands a module at the end of an
+// epoch: an introspection context and the set of pages dirtied during
+// the epoch, so scans can focus on memory that could hold new evidence.
+type ScanContext struct {
+	VMI *vmi.Context
+	// Dirty is the epoch's dirty-page bitmap; nil means scan everything
+	// (used for the initial scan and for replay forensics).
+	Dirty *mem.Bitmap
+	// Counts accumulates scan work for cost accounting.
+	Counts *ScanCounts
+	// Packets are the epoch's buffered outgoing packets, for
+	// output-scanning modules; nil when buffering is disabled.
+	Packets []guestos.Packet
+	// DiskWrites are the epoch's buffered disk writes.
+	DiskWrites []guestos.DiskWrite
+}
+
+// ScanCounts tallies audit work for the cost model.
+type ScanCounts struct {
+	NodesWalked     int
+	CanariesChecked int
+	OutputBytes     int
+}
+
+// Module is one pluggable security scan.
+type Module interface {
+	// Name identifies the module in findings and reports.
+	Name() string
+	// Scan inspects the VM and returns any evidence found.
+	Scan(ctx *ScanContext) ([]Finding, error)
+}
+
+// Detector runs a set of modules at each epoch boundary.
+type Detector struct {
+	modules []Module
+}
+
+// NewDetector creates a detector with the given modules.
+func NewDetector(modules ...Module) *Detector {
+	return &Detector{modules: modules}
+}
+
+// Modules returns the registered modules.
+func (d *Detector) Modules() []Module { return d.modules }
+
+// Scan runs every module and aggregates findings. A module error aborts
+// the audit (failing safe: the epoch is not committed).
+func (d *Detector) Scan(ctx *ScanContext) ([]Finding, error) {
+	if ctx.Counts == nil {
+		ctx.Counts = &ScanCounts{}
+	}
+	var all []Finding
+	for _, m := range d.modules {
+		before := ctx.VMI.Stats()
+		fs, err := m.Scan(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("detect: module %s: %w", m.Name(), err)
+		}
+		after := ctx.VMI.Stats()
+		ctx.Counts.NodesWalked += after.NodesWalked - before.NodesWalked
+		all = append(all, fs...)
+	}
+	return all, nil
+}

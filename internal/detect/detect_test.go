@@ -1,0 +1,256 @@
+package detect
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/mem"
+	"repro/internal/vmi"
+)
+
+func newScanEnv(t *testing.T, prof *guestos.Profile) (*guestos.Guest, *ScanContext) {
+	t.Helper()
+	h := hv.New(520)
+	dom, err := h.CreateDomain("guest", 512)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Profile: prof, Seed: 11})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	ctx, err := vmi.NewContext(dom, g.Profile(), g.SystemMap())
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	if err := ctx.Preprocess(); err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	return g, &ScanContext{VMI: ctx, Counts: &ScanCounts{}}
+}
+
+func TestCanaryModuleDetectsOverflow(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("victim", 0, 8)
+	va, err := g.Malloc(pid, 32)
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	fs, err := CanaryModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean heap produced findings: %+v", fs)
+	}
+	if err := g.WriteUser(pid, va, bytes.Repeat([]byte{0x41}, 48)); err != nil {
+		t.Fatalf("WriteUser: %v", err)
+	}
+	fs, err = CanaryModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Kind != KindBufferOverflow {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if fs[0].Got == fs[0].Expected || fs[0].Expected != g.CanarySecret() {
+		t.Fatalf("finding values wrong: %+v", fs[0])
+	}
+}
+
+func TestCanaryModuleDirtyScoping(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("victim", 0, 8)
+	va, _ := g.Malloc(pid, 32)
+	if err := g.WriteUser(pid, va, bytes.Repeat([]byte{0x41}, 48)); err != nil {
+		t.Fatalf("WriteUser: %v", err)
+	}
+	// With an empty dirty bitmap, the scan skips every canary — and
+	// misses the overflow (this is why the Checkpointer supplies the
+	// real epoch bitmap).
+	empty := mem.NewBitmap(512)
+	sc.Dirty = empty
+	fs, err := CanaryModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 0 || sc.Counts.CanariesChecked != 0 {
+		t.Fatalf("scoped scan checked %d canaries, found %d", sc.Counts.CanariesChecked, len(fs))
+	}
+	// Mark the canary's page dirty: the scan sees it again.
+	canaryPA, _ := g.TranslateUser(pid, va+32)
+	dirty := mem.NewBitmap(512)
+	dirty.Set(int(canaryPA >> mem.PageShift))
+	sc.Dirty = dirty
+	fs, err = CanaryModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestMalwareModule(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.WindowsProfile())
+	if _, err := g.StartProcess("notepad.exe", 500, 4); err != nil {
+		t.Fatalf("StartProcess: %v", err)
+	}
+	mod := NewMalwareModule(nil)
+	fs, err := mod.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("benign process flagged: %+v", fs)
+	}
+	pid, _ := g.StartProcess("reg_read.exe", 500, 4)
+	fs, err = mod.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Kind != KindMalware || fs[0].PID != pid {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestMalwareModuleCaseInsensitive(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.WindowsProfile())
+	if _, err := g.StartProcess("Reg_Read.EXE", 500, 4); err != nil {
+		t.Fatalf("StartProcess: %v", err)
+	}
+	fs, err := NewMalwareModule(nil).Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("case-insensitive match failed: %+v", fs)
+	}
+}
+
+func TestSyscallModule(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	fs, err := SyscallModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean table flagged: %+v", fs)
+	}
+	if err := g.HijackSyscall(42, 0xbad); err != nil {
+		t.Fatalf("HijackSyscall: %v", err)
+	}
+	fs, err = SyscallModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Kind != KindSyscallHijack || fs[0].SyscallIndex != 42 {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestHiddenProcessModule(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("stealthy", 0, 4)
+	fs, err := HiddenProcessModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("visible process flagged: %+v", fs)
+	}
+	if err := g.HideProcess(pid); err != nil {
+		t.Fatalf("HideProcess: %v", err)
+	}
+	fs, err = HiddenProcessModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Kind != KindHiddenProcess || fs[0].PID != pid {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestDetectorAggregates(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("victim", 0, 8)
+	va, _ := g.Malloc(pid, 16)
+	_ = g.WriteUser(pid, va, bytes.Repeat([]byte{1}, 32))
+	_ = g.HijackSyscall(5, 0xbad)
+
+	d := NewDetector(CanaryModule{}, SyscallModule{}, HiddenProcessModule{})
+	fs, err := d.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	kinds := map[Kind]int{}
+	for _, f := range fs {
+		kinds[f.Kind]++
+	}
+	if kinds[KindBufferOverflow] != 1 || kinds[KindSyscallHijack] != 1 || kinds[KindHiddenProcess] != 0 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if len(d.Modules()) != 3 {
+		t.Fatalf("Modules = %d", len(d.Modules()))
+	}
+	if sc.Counts.CanariesChecked != 1 {
+		t.Fatalf("CanariesChecked = %d, want 1", sc.Counts.CanariesChecked)
+	}
+	if sc.Counts.NodesWalked == 0 {
+		t.Fatal("NodesWalked not accounted")
+	}
+}
+
+func TestFindingKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindBufferOverflow: "buffer-overflow",
+		KindMalware:        "malware",
+		KindSyscallHijack:  "syscall-hijack",
+		KindHiddenProcess:  "hidden-process",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestDeepScanFindsCloakedProcess(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("ghostkit", 0, 4)
+	if err := g.CloakProcess(pid); err != nil {
+		t.Fatalf("CloakProcess: %v", err)
+	}
+	// The ordinary cross-view module is now blind: the process is in
+	// neither the task list nor the pid hash.
+	fs, err := HiddenProcessModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("cross view unexpectedly found the cloaked proc: %+v", fs)
+	}
+	// The deep whole-memory sweep still recovers the record.
+	fs, err = DeepScanModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("DeepScan: %v", err)
+	}
+	if len(fs) != 1 || fs[0].PID != pid || fs[0].Name != "ghostkit" {
+		t.Fatalf("deep scan findings = %+v", fs)
+	}
+}
+
+func TestDeepScanCleanGuest(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	if _, err := g.StartProcess("normal", 0, 4); err != nil {
+		t.Fatalf("StartProcess: %v", err)
+	}
+	fs, err := DeepScanModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("DeepScan: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("false positives on clean guest: %+v", fs)
+	}
+}

@@ -1,0 +1,99 @@
+package detect
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// OutputScanModule is the unaided output scan from §3.2: it inspects
+// the epoch's buffered outgoing packets and disk writes for suspicious
+// content before they are released. Because outputs are held in the
+// hypervisor until the audit passes, a match here stops exfiltration
+// with zero external impact.
+type OutputScanModule struct {
+	signatures [][]byte
+	blockedIPs map[[4]byte]bool
+}
+
+var _ Module = (*OutputScanModule)(nil)
+
+// DefaultSignatures are content markers commonly used in exfiltration
+// tests and watermarked documents.
+func DefaultSignatures() []string {
+	return []string{
+		"BEGIN RSA PRIVATE KEY",
+		"AWS_SECRET_ACCESS_KEY",
+		"CONFIDENTIAL//NOFORN",
+		"HKLM registry dump",
+	}
+}
+
+// NewOutputScanModule builds the module; nil signatures use
+// DefaultSignatures. blockedIPs lists known exfiltration endpoints.
+func NewOutputScanModule(signatures []string, blockedIPs [][4]byte) *OutputScanModule {
+	if signatures == nil {
+		signatures = DefaultSignatures()
+	}
+	m := &OutputScanModule{blockedIPs: make(map[[4]byte]bool, len(blockedIPs))}
+	for _, s := range signatures {
+		m.signatures = append(m.signatures, []byte(s))
+	}
+	for _, ip := range blockedIPs {
+		m.blockedIPs[ip] = true
+	}
+	return m
+}
+
+// Name implements Module.
+func (*OutputScanModule) Name() string { return "output-scan" }
+
+// Scan implements Module.
+func (m *OutputScanModule) Scan(ctx *ScanContext) ([]Finding, error) {
+	var out []Finding
+	for _, p := range ctx.Packets {
+		ctx.Counts.OutputBytes += len(p.Payload)
+		if m.blockedIPs[p.DstIP] {
+			out = append(out, Finding{
+				Module: "output-scan",
+				Kind:   KindSuspiciousOutput,
+				PID:    p.SrcPID,
+				Description: fmt.Sprintf("pid %d sent a packet to blocked endpoint %d.%d.%d.%d:%d",
+					p.SrcPID, p.DstIP[0], p.DstIP[1], p.DstIP[2], p.DstIP[3], p.DstPort),
+			})
+			continue
+		}
+		if sig := m.match(p.Payload); sig != "" {
+			out = append(out, Finding{
+				Module: "output-scan",
+				Kind:   KindSuspiciousOutput,
+				PID:    p.SrcPID,
+				Description: fmt.Sprintf("outgoing packet from pid %d matches signature %q (dst %d.%d.%d.%d:%d)",
+					p.SrcPID, sig, p.DstIP[0], p.DstIP[1], p.DstIP[2], p.DstIP[3], p.DstPort),
+			})
+		}
+	}
+	for _, d := range ctx.DiskWrites {
+		ctx.Counts.OutputBytes += len(d.Data)
+		if sig := m.match(d.Data); sig != "" {
+			out = append(out, Finding{
+				Module: "output-scan",
+				Kind:   KindSuspiciousOutput,
+				PID:    d.PID,
+				Name:   d.Path,
+				Description: fmt.Sprintf("disk write by pid %d to %s matches signature %q",
+					d.PID, d.Path, sig),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (m *OutputScanModule) match(data []byte) string {
+	for _, sig := range m.signatures {
+		if bytes.Contains(data, sig) {
+			return strings.ToValidUTF8(string(sig), "?")
+		}
+	}
+	return ""
+}

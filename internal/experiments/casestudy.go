@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/workload"
+)
+
+const caseStudyPages = 1024
+
+func newCaseController(prof *guestos.Profile, cfg core.Config) (*core.Controller, error) {
+	h := hv.New(2*caseStudyPages + 16)
+	dom, err := h.CreateDomain("guest", caseStudyPages)
+	if err != nil {
+		return nil, err
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Profile: prof, Seed: 2018})
+	if err != nil {
+		return nil, err
+	}
+	return core.New(h, g, cfg)
+}
+
+// Fig8AttackTimeline regenerates Figure 8 / Case Study 1: a heap buffer
+// overflow under 50 ms epochs, detected at the epoch boundary, rolled
+// back, replayed to the exact corrupting write, and forensically
+// dumped. The whole CRIMES stack runs for real; the timeline durations
+// are priced by the cost model.
+func Fig8AttackTimeline() (*Result, error) {
+	ctl, err := newCaseController(guestos.LinuxProfile(), core.Config{
+		EpochInterval:    50 * time.Millisecond,
+		Modules:          []detect.Module{detect.CanaryModule{}},
+		ReplayOnIncident: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+
+	var pid uint32
+	var bufVA uint64
+	if _, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		var err error
+		if pid, err = g.StartProcess("victim-app", 1000, 8); err != nil {
+			return err
+		}
+		bufVA, err = g.Malloc(pid, 64)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		// Benign activity, the overflow roughly mid-epoch, then more
+		// benign activity and an exfiltration attempt: replay must
+		// single out the bad write, and the packet must never leave.
+		if err := g.WriteUser(pid, bufVA, bytes.Repeat([]byte{0x20}, 64)); err != nil {
+			return err
+		}
+		if err := g.WriteUser(pid, bufVA, bytes.Repeat([]byte{0x41}, 80)); err != nil {
+			return err
+		}
+		if err := g.Compute(pid, 100); err != nil {
+			return err
+		}
+		return g.SendPacket(pid, [4]byte{6, 6, 6, 6}, 31337, []byte("exfiltrated secret"))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Incident == nil {
+		return nil, errors.New("experiments fig8: overflow not detected")
+	}
+	inc := res.Incident
+	if inc.Pinpoint == nil {
+		return nil, errors.New("experiments fig8: overflow not pinpointed")
+	}
+
+	tl := inc.Timeline
+	var b strings.Builder
+	renderHeader(&b, "Figure 8 / Case study 1: buffer overflow detection and response timeline")
+	fmt.Fprintf(&b, "epoch interval: 50ms; attack at t0 within the epoch\n\n")
+	fmt.Fprintf(&b, "t0 + %-12v attack executes (heap overflow, canary destroyed)\n", time.Duration(0))
+	fmt.Fprintf(&b, "t0 + %-12v epoch ends; VM suspended, audit begins (paper: 24.4ms)\n", tl.AttackToEpochEnd)
+	fmt.Fprintf(&b, "     + %-12v suspend + canary scan flags the overflow (paper: ~3ms + <1ms)\n", tl.SuspendAndScan)
+	fmt.Fprintf(&b, "     + %-12v rollback complete, replay VM resumes (paper: t0+29ms)\n", tl.ReplayReady)
+	fmt.Fprintf(&b, "     + replay        pinpointed: %s\n", inc.Pinpoint.Describe())
+	fmt.Fprintf(&b, "     + %-12v process memory dump extracted (paper: ~5s)\n", tl.MemDump)
+	fmt.Fprintf(&b, "     + %-12v three full system checkpoints written to disk (paper: 100+s)\n", tl.CheckpointsToDisk)
+	fmt.Fprintf(&b, "\nDumps captured: last-good=%v audit-fail=%v at-attack=%v\n",
+		inc.Dumps.LastGood != nil, inc.Dumps.AuditFail != nil, inc.Dumps.AtAttack != nil)
+	fmt.Fprintf(&b, "Outputs discarded by failed audit: %d (zero external impact)\n", ctl.Buffer().Discarded())
+	fmt.Fprintf(&b, "\n%s\n", inc.Report.Render())
+	return &Result{ID: "fig8", Title: "Attack detection timeline", Text: b.String()}, nil
+}
+
+// Case2MalwareReport regenerates Case Study 2 (§5.6): malware detection
+// in an unmodified Windows guest and the automatically generated
+// forensic report.
+func Case2MalwareReport() (*Result, error) {
+	ctl, err := newCaseController(guestos.WindowsProfile(), core.Config{
+		EpochInterval: 50 * time.Millisecond,
+		Modules:       []detect.Module{detect.NewMalwareModule(nil)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+
+	if _, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		_, err := g.StartProcess("explorer.exe", 500, 4)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		_, err := workload.InjectMalware(g)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Incident == nil {
+		return nil, errors.New("experiments case2: malware not detected")
+	}
+
+	var b strings.Builder
+	renderHeader(&b, "Case study 2: malware detection on an unmodified Windows guest")
+	fmt.Fprintf(&b, "Detected at the end of epoch %d with no in-guest support.\n", res.Epoch)
+	fmt.Fprintf(&b, "Per-checkpoint blacklist scan walks the task list only (paper: ~0.3us extra).\n\n")
+	b.WriteString(res.Incident.Report.Render())
+	return &Result{ID: "case2", Title: "Malware forensic report", Text: b.String()}, nil
+}

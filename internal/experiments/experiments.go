@@ -1,0 +1,122 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5). Each experiment returns structured series plus a
+// text rendering with the same rows the paper reports.
+//
+// Methodology: workload dirty-page and audit-work counts are real or
+// validated against real runs (internal/workload tests tie the model to
+// harvested dirty bitmaps); phase durations come from the calibrated
+// cost model (internal/cost); the case studies run the full real CRIMES
+// stack. Absolute numbers therefore differ from the paper's testbed,
+// but the shapes — who wins, by roughly what factor, where crossovers
+// fall — are reproduced and recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string // e.g. "table1", "fig3"
+	Title string
+	Text  string // rendered rows/series
+	// CSV holds the figure's data series in machine-readable form for
+	// replotting; empty for prose-only experiments.
+	CSV string
+}
+
+// Generator produces one experiment result.
+type Generator func() (*Result, error)
+
+// All returns the experiment registry in presentation order.
+func All() []struct {
+	ID  string
+	Gen Generator
+} {
+	return []struct {
+		ID  string
+		Gen Generator
+	}{
+		{"table1", Table1CostBreakdown},
+		{"table2", Table2ParsecSuite},
+		{"table3", Table3VMICosts},
+		{"fig3", Fig3ParsecNormalized},
+		{"fig4", Fig4SwaptionsBreakdown},
+		{"fig5", Fig5IntervalSweep},
+		{"fig6a", Fig6aFluidanimate},
+		{"fig6b", Fig6bBitmapScan},
+		{"fig7", Fig7WebServer},
+		{"fig8", Fig8AttackTimeline},
+		{"case2", Case2MalwareReport},
+		{"remus", RemusComparison},
+		{"ablation", AblationSummary},
+	}
+}
+
+// ByID returns one generator.
+func ByID(id string) (Generator, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Gen, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// --- shared cost helpers ---------------------------------------------------
+
+// epochCounts builds the per-checkpoint operation counts for a workload
+// spec at paper scale.
+func epochCounts(spec workload.Spec, epoch time.Duration) cost.Counts {
+	dirty := spec.DirtyPages(epoch)
+	return cost.Counts{
+		TotalPages:  workload.PaperVMPages,
+		DirtyPages:  dirty,
+		BytesCopied: dirty * 4096,
+		VMINodes:    12, // processes + modules walked by the audit
+		Canaries:    int(spec.AllocsPerSec * epoch.Seconds()),
+	}
+}
+
+// pausedTime prices one checkpoint pause.
+func pausedTime(m cost.Model, opt cost.Optimization, spec workload.Spec, epoch time.Duration) cost.Phases {
+	return m.Checkpoint(opt, epochCounts(spec, epoch))
+}
+
+// normRuntime is the workload's normalized runtime under checkpointing:
+// the VM makes progress only while running, so each epoch of useful
+// work costs epoch+pause wall time.
+func normRuntime(m cost.Model, opt cost.Optimization, spec workload.Spec, epoch time.Duration) float64 {
+	pause := pausedTime(m, opt, spec, epoch).Total()
+	return float64(epoch+pause) / float64(epoch)
+}
+
+func geomean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+func renderHeader(b *strings.Builder, title string) {
+	fmt.Fprintf(b, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+// Table1CostBreakdown regenerates Table 1: the time a web-serving VM
+// spends in each paused-state phase per checkpoint, for three workload
+// intensities, at a 20 ms epoch with no optimizations.
+func Table1CostBreakdown() (*Result, error) {
+	m := cost.Default()
+	epoch := 20 * time.Millisecond
+	var b strings.Builder
+	renderHeader(&b, "Table 1: paused-state cost breakdown (ms), web workload, 20ms epoch, No-opt")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %8s %8s\n",
+		"Workload", "suspend", "vmi", "bitscan", "map", "copy", "resume")
+	for _, intensity := range []workload.WebIntensity{workload.WebLight, workload.WebMedium, workload.WebHigh} {
+		spec := workload.Web(intensity)
+		p := pausedTime(m, cost.NoOpt, spec, epoch)
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			intensity, ms(p.Suspend), ms(p.VMI), ms(p.Bitscan), ms(p.Map), ms(p.Copy), ms(p.Resume))
+	}
+	b.WriteString("\nPaper: Light copy=12.58 map=1.6; Medium copy=14.63; High copy=19.98 (copy ~70% of pause).\n")
+	return &Result{ID: "table1", Title: "Cost breakdown of paused state", Text: b.String()}, nil
+}
+
+// Table2ParsecSuite regenerates Table 2: the PARSEC suite used by the
+// evaluation.
+func Table2ParsecSuite() (*Result, error) {
+	var b strings.Builder
+	renderHeader(&b, "Table 2: PARSEC 3.0 benchmarks used in the experiments")
+	for _, s := range workload.Parsec() {
+		fmt.Fprintf(&b, "%-15s %s\n", s.Name, s.Description)
+	}
+	return &Result{ID: "table2", Title: "PARSEC benchmark suite", Text: b.String()}, nil
+}
+
+// Fig3ParsecNormalized regenerates Figure 3: normalized PARSEC runtime
+// under Full/Pre-map/Memcpy/No-opt/AddressSanitizer at a 200 ms epoch.
+func Fig3ParsecNormalized() (*Result, error) {
+	m := cost.Default()
+	epoch := 200 * time.Millisecond
+	opts := []cost.Optimization{cost.Full, cost.Premap, cost.Memcpy, cost.NoOpt}
+
+	var b, csv strings.Builder
+	renderHeader(&b, "Figure 3: normalized PARSEC runtime, 200ms epoch")
+	fmt.Fprintf(&b, "%-15s %8s %8s %8s %8s %8s\n", "Benchmark", "Full", "Pre-map", "Memcpy", "No-opt", "AS")
+	csv.WriteString("benchmark,full,premap,memcpy,noopt,as\n")
+	perOpt := make(map[cost.Optimization][]float64)
+	var asAll []float64
+	for _, spec := range workload.Parsec() {
+		fmt.Fprintf(&b, "%-15s", spec.Name)
+		fmt.Fprintf(&csv, "%s", spec.Name)
+		for _, opt := range opts {
+			n := normRuntime(m, opt, spec, epoch)
+			perOpt[opt] = append(perOpt[opt], n)
+			fmt.Fprintf(&b, " %8.2f", n)
+			fmt.Fprintf(&csv, ",%.4f", n)
+		}
+		fmt.Fprintf(&b, " %8.2f\n", spec.ASanFactor)
+		fmt.Fprintf(&csv, ",%.4f\n", spec.ASanFactor)
+		asAll = append(asAll, spec.ASanFactor)
+	}
+	fmt.Fprintf(&b, "%-15s", "Geometric-Mean")
+	for _, opt := range opts {
+		fmt.Fprintf(&b, " %8.2f", geomean(perOpt[opt]))
+	}
+	fmt.Fprintf(&b, " %8.2f\n", geomean(asAll))
+	fmt.Fprintf(&b, "\nPaper: Full geomean +9.8%%; No-opt/AS +40-60%%; fluidanimate No-opt ~4.7x.\n")
+	return &Result{ID: "fig3", Title: "Normalized PARSEC performance", Text: b.String(), CSV: csv.String()}, nil
+}
+
+// Fig4SwaptionsBreakdown regenerates Figure 4: the absolute paused-time
+// breakdown for swaptions per optimization level at a 200 ms epoch.
+func Fig4SwaptionsBreakdown() (*Result, error) {
+	m := cost.Default()
+	spec, err := workload.ParsecByName("swaptions")
+	if err != nil {
+		return nil, err
+	}
+	epoch := 200 * time.Millisecond
+	var b strings.Builder
+	renderHeader(&b, "Figure 4: absolute cost breakdown (ms), swaptions, 200ms epoch")
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Opt", "suspend", "vmi", "bitscan", "map", "copy", "resume", "TOTAL")
+	var noopt, full float64
+	for _, opt := range []cost.Optimization{cost.Full, cost.Premap, cost.Memcpy, cost.NoOpt} {
+		p := pausedTime(m, opt, spec, epoch)
+		fmt.Fprintf(&b, "%-8s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			opt, ms(p.Suspend), ms(p.VMI), ms(p.Bitscan), ms(p.Map), ms(p.Copy), ms(p.Resume), ms(p.Total()))
+		switch opt {
+		case cost.NoOpt:
+			noopt = ms(p.Total())
+		case cost.Full:
+			full = ms(p.Total())
+		}
+	}
+	fmt.Fprintf(&b, "\nPause reduction Full vs No-opt: %.0f%% (paper: 29.86ms -> 10.21ms, -67%%)\n",
+		100*(1-full/noopt))
+	return &Result{ID: "fig4", Title: "Swaptions cost breakdown", Text: b.String()}, nil
+}
+
+// fig5Benchmarks are the four benchmarks Figure 5 sweeps.
+func fig5Benchmarks() []workload.Spec {
+	var out []workload.Spec
+	for _, name := range []string{"freqmine", "swaptions", "volrend", "water-spatial"} {
+		s, err := workload.ParsecByName(name)
+		if err == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sweepIntervals() []time.Duration {
+	var out []time.Duration
+	for msv := 60; msv <= 200; msv += 20 {
+		out = append(out, time.Duration(msv)*time.Millisecond)
+	}
+	return out
+}
+
+// Fig5IntervalSweep regenerates Figure 5: normalized runtime (a),
+// paused time (b), and dirty pages per epoch (c) versus epoch interval
+// for four benchmarks under Full optimization.
+func Fig5IntervalSweep() (*Result, error) {
+	m := cost.Default()
+	specs := fig5Benchmarks()
+	intervals := sweepIntervals()
+
+	var b strings.Builder
+	renderHeader(&b, "Figure 5: interval sweep, Full optimization")
+	for _, part := range []string{"(a) normalized runtime", "(b) paused time (ms)", "(c) dirty pages per epoch"} {
+		fmt.Fprintf(&b, "\n%s\n%-10s", part, "epoch(ms)")
+		for _, s := range specs {
+			fmt.Fprintf(&b, " %14s", s.Name)
+		}
+		b.WriteString("\n")
+		for _, e := range intervals {
+			fmt.Fprintf(&b, "%-10d", e.Milliseconds())
+			for _, s := range specs {
+				switch part[1] {
+				case 'a':
+					fmt.Fprintf(&b, " %14.3f", normRuntime(m, cost.Full, s, e))
+				case 'b':
+					fmt.Fprintf(&b, " %14.2f", ms(pausedTime(m, cost.Full, s, e).Total()))
+				default:
+					fmt.Fprintf(&b, " %14d", s.DirtyPages(e))
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\nPaper shapes: (a) decreases with interval; (b) and (c) increase with interval.\n")
+	return &Result{ID: "fig5", Title: "Interval sweep", Text: b.String()}, nil
+}
+
+// Fig6aFluidanimate regenerates Figure 6a: fluidanimate's normalized
+// runtime versus epoch interval for every optimization level.
+func Fig6aFluidanimate() (*Result, error) {
+	m := cost.Default()
+	spec, err := workload.ParsecByName("fluidanimate")
+	if err != nil {
+		return nil, err
+	}
+	opts := []cost.Optimization{cost.Full, cost.Premap, cost.Memcpy, cost.NoOpt}
+	var b, csv strings.Builder
+	renderHeader(&b, "Figure 6a: fluidanimate normalized runtime vs epoch interval")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s\n", "epoch(ms)", "Full", "Pre-map", "Memcpy", "No-opt")
+	csv.WriteString("epoch_ms,full,premap,memcpy,noopt\n")
+	for _, e := range sweepIntervals() {
+		fmt.Fprintf(&b, "%-10d", e.Milliseconds())
+		fmt.Fprintf(&csv, "%d", e.Milliseconds())
+		for _, opt := range opts {
+			n := normRuntime(m, opt, spec, e)
+			fmt.Fprintf(&b, " %8.2f", n)
+			fmt.Fprintf(&csv, ",%.4f", n)
+		}
+		b.WriteString("\n")
+		csv.WriteString("\n")
+	}
+	full60 := normRuntime(m, cost.Full, spec, 60*time.Millisecond)
+	noopt60 := normRuntime(m, cost.NoOpt, spec, 60*time.Millisecond)
+	fmt.Fprintf(&b, "\nAt 60ms, Full is %.1fx faster than No-opt (paper: ~3.5x).\n",
+		(noopt60-1)/(full60-1))
+	return &Result{ID: "fig6a", Title: "Fluidanimate optimization benefit", Text: b.String(), CSV: csv.String()}, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/websim"
+	"repro/internal/workload"
+)
+
+// Fig7WebServer regenerates Figure 7: the web server's normalized
+// latency (a) and throughput (b) versus epoch interval, for Synchronous
+// Safety and Best Effort Safety, under Full optimization.
+func Fig7WebServer() (*Result, error) {
+	m := cost.Default()
+	spec := workload.Web(workload.WebMedium)
+
+	base, err := websim.Simulate(websim.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+
+	var b, csv strings.Builder
+	csv.WriteString("epoch_ms,sync_lat_norm,sync_tput_norm,be_lat_norm,be_tput_norm\n")
+	renderHeader(&b, "Figure 7: web server under Synchronous vs Best Effort safety (Full opt)")
+	fmt.Fprintf(&b, "Baseline (no protection): %.0f req/s, %.2f ms avg latency (paper: 17094 req/s, 2.83 ms)\n\n",
+		base.Throughput, ms(base.AvgLatency))
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n",
+		"epoch(ms)", "sync lat", "sync tput", "BE lat", "BE tput")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n", "", "(norm)", "(norm)", "(norm)", "(norm)")
+
+	for e := 20; e <= 200; e += 20 {
+		epoch := time.Duration(e) * time.Millisecond
+		pause := pausedTime(m, cost.Full, spec, epoch).Total()
+
+		params := websim.DefaultParams()
+		params.Epoch = epoch
+		params.Pause = pause
+		params.Buffered = true
+		sync, err := websim.Simulate(params)
+		if err != nil {
+			return nil, err
+		}
+		params.Buffered = false
+		be, err := websim.Simulate(params)
+		if err != nil {
+			return nil, err
+		}
+		sl := float64(sync.AvgLatency) / float64(base.AvgLatency)
+		st := sync.Throughput / base.Throughput
+		bl := float64(be.AvgLatency) / float64(base.AvgLatency)
+		bt := be.Throughput / base.Throughput
+		fmt.Fprintf(&b, "%-10d %12.2f %12.2f %12.2f %12.2f\n", e, sl, st, bl, bt)
+		fmt.Fprintf(&csv, "%d,%.4f,%.4f,%.4f,%.4f\n", e, sl, st, bl, bt)
+	}
+	b.WriteString(`
+Paper shapes: Best Effort stays ~1.0 in both metrics; Synchronous latency
+grows and throughput falls monotonically with the interval (the closed-loop
+client cannot fill the server while responses are buffered). Magnitudes
+exceed the paper's because every buffered response here waits for the full
+epoch boundary.
+`)
+	return &Result{ID: "fig7", Title: "Web server safety modes", Text: b.String(), CSV: csv.String()}, nil
+}

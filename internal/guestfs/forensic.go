@@ -1,0 +1,67 @@
+package guestfs
+
+import (
+	"fmt"
+)
+
+// Forensic disk analysis: like Sleuth Kit's fls -d over a disk image,
+// these functions parse the raw filesystem structures of a (possibly
+// checkpointed) disk and recover deleted entries.
+
+// ForensicEntry is one recovered inode, live or deleted.
+type ForensicEntry struct {
+	Inode   int
+	Name    string
+	Size    int
+	Owner   uint32
+	MTime   uint64
+	Deleted bool
+}
+
+// ScanInodes walks the full inode table of a formatted device and
+// returns every file record, including deleted ones whose bytes remain.
+func ScanInodes(dev BlockDev) ([]ForensicEntry, error) {
+	fs, err := Mount(dev)
+	if err != nil {
+		return nil, err
+	}
+	var out []ForensicEntry
+	for i := 0; i < fs.inodeCount; i++ {
+		ino, err := fs.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		if ino.state == inodeFree {
+			continue
+		}
+		out = append(out, ForensicEntry{
+			Inode:   i,
+			Name:    ino.name,
+			Size:    int(ino.size),
+			Owner:   ino.owner,
+			MTime:   ino.mtime,
+			Deleted: ino.state == inodeDeleted,
+		})
+	}
+	return out, nil
+}
+
+// RecoverDeleted extracts a deleted file's contents from its residual
+// inode block pointers (possible until the blocks are reused) — the
+// disk analogue of procdump on an exited process.
+func RecoverDeleted(dev BlockDev, name string) ([]byte, error) {
+	fs, err := Mount(dev)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < fs.inodeCount; i++ {
+		ino, err := fs.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		if ino.state == inodeDeleted && ino.name == name {
+			return fs.readContents(ino)
+		}
+	}
+	return nil, fmt.Errorf("guestfs: recover %q: no deleted inode: %w", name, ErrNotFound)
+}

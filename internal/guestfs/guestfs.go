@@ -1,0 +1,373 @@
+// Package guestfs implements a minimal on-disk filesystem for the
+// guest's virtual block device, completing the disk-snapshot extension
+// (§3.1): file state lives in raw disk blocks, is checkpointed and
+// rolled back with the VM, and is parseable by forensic tools — deleted
+// files leave their inodes behind, so disk forensics can recover what
+// an attacker erased, just as psscan recovers exited processes from
+// memory.
+//
+// Layout (all little-endian, block size = vdisk.BlockSize):
+//
+//	block 0:  superblock {magic, blocks, inodes, inodeStart, dataStart}
+//	block 1:  data-block allocation bitmap (1 byte per block)
+//	blocks 2..: inode table, then data blocks
+package guestfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/guestos"
+	"repro/internal/vdisk"
+)
+
+// Filesystem constants.
+const (
+	Magic         = 0x46534D43 // "CMSF"
+	InodeSize     = 128
+	NameLen       = 64
+	DirectBlocks  = 8
+	MaxFileSize   = DirectBlocks * vdisk.BlockSize
+	inodeFree     = 0
+	inodeFile     = 1
+	inodeDeleted  = 2
+	superMagicOff = 0
+	superBlocks   = 4
+	superInodes   = 8
+	superInodeAt  = 12
+	superDataAt   = 16
+)
+
+var (
+	// ErrNotFormatted is returned when mounting a device without a
+	// valid superblock.
+	ErrNotFormatted = errors.New("guestfs: device not formatted")
+	// ErrNoSpace is returned when inodes or data blocks run out.
+	ErrNoSpace = errors.New("guestfs: no space")
+	// ErrNotFound is returned for missing files.
+	ErrNotFound = errors.New("guestfs: file not found")
+	// ErrTooLarge is returned for writes beyond MaxFileSize.
+	ErrTooLarge = errors.New("guestfs: file too large")
+	// ErrExists is returned when creating a file that already exists.
+	ErrExists = errors.New("guestfs: file exists")
+)
+
+// BlockDev is the device interface the filesystem runs on. Writes are
+// (block, offset, data) so they can be routed through the guest's
+// op-logged block-write path for deterministic replay.
+type BlockDev interface {
+	Blocks() int
+	ReadBlock(i int, buf []byte) error
+	WriteBlock(i, offset int, data []byte) error
+}
+
+// GuestDev routes filesystem writes through a guest process's op-logged
+// WriteBlock, so filesystem mutations replay deterministically, while
+// reads go straight to the attached disk.
+type GuestDev struct {
+	G   *guestos.Guest
+	PID uint32
+}
+
+var _ BlockDev = GuestDev{}
+
+// Blocks implements BlockDev.
+func (d GuestDev) Blocks() int { return d.G.Disk().Blocks() }
+
+// ReadBlock implements BlockDev.
+func (d GuestDev) ReadBlock(i int, buf []byte) error { return d.G.Disk().ReadBlock(i, buf) }
+
+// WriteBlock implements BlockDev.
+func (d GuestDev) WriteBlock(i, offset int, data []byte) error {
+	return d.G.WriteBlock(d.PID, i, offset, data)
+}
+
+var _ BlockDev = (*vdisk.Disk)(nil)
+
+// FS is a mounted filesystem.
+type FS struct {
+	dev        BlockDev
+	inodeCount int
+	inodeStart int // first inode-table block
+	dataStart  int // first data block
+}
+
+// Mkfs formats the device with the given number of inodes and mounts
+// it.
+func Mkfs(dev BlockDev, inodes int) (*FS, error) {
+	if inodes <= 0 {
+		inodes = 32
+	}
+	inodeBlocks := (inodes*InodeSize + vdisk.BlockSize - 1) / vdisk.BlockSize
+	dataStart := 2 + inodeBlocks
+	if dataStart+1 >= dev.Blocks() {
+		return nil, fmt.Errorf("guestfs: mkfs on %d-block device: %w", dev.Blocks(), ErrNoSpace)
+	}
+	var sb [20]byte
+	binary.LittleEndian.PutUint32(sb[superMagicOff:], Magic)
+	binary.LittleEndian.PutUint32(sb[superBlocks:], uint32(dev.Blocks()))
+	binary.LittleEndian.PutUint32(sb[superInodes:], uint32(inodes))
+	binary.LittleEndian.PutUint32(sb[superInodeAt:], 2)
+	binary.LittleEndian.PutUint32(sb[superDataAt:], uint32(dataStart))
+	if err := dev.WriteBlock(0, 0, sb[:]); err != nil {
+		return nil, fmt.Errorf("guestfs: write superblock: %w", err)
+	}
+	// Zero the allocation bitmap and inode table.
+	zero := make([]byte, vdisk.BlockSize)
+	for b := 1; b < dataStart; b++ {
+		if err := dev.WriteBlock(b, 0, zero); err != nil {
+			return nil, fmt.Errorf("guestfs: clear metadata block %d: %w", b, err)
+		}
+	}
+	return Mount(dev)
+}
+
+// Mount opens an already-formatted device.
+func Mount(dev BlockDev) (*FS, error) {
+	sb := make([]byte, vdisk.BlockSize)
+	if err := dev.ReadBlock(0, sb); err != nil {
+		return nil, fmt.Errorf("guestfs: read superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sb[superMagicOff:]) != Magic {
+		return nil, ErrNotFormatted
+	}
+	fs := &FS{
+		dev:        dev,
+		inodeCount: int(binary.LittleEndian.Uint32(sb[superInodes:])),
+		inodeStart: int(binary.LittleEndian.Uint32(sb[superInodeAt:])),
+		dataStart:  int(binary.LittleEndian.Uint32(sb[superDataAt:])),
+	}
+	if fs.inodeCount <= 0 || fs.dataStart >= dev.Blocks() {
+		return nil, ErrNotFormatted
+	}
+	return fs, nil
+}
+
+// inode is the in-memory form of an on-disk inode.
+type inode struct {
+	idx    int
+	state  uint32
+	size   uint32
+	owner  uint32
+	mtime  uint64
+	name   string
+	blocks [DirectBlocks]uint32
+}
+
+func (fs *FS) inodePos(idx int) (block, off int) {
+	byteOff := idx * InodeSize
+	return fs.inodeStart + byteOff/vdisk.BlockSize, byteOff % vdisk.BlockSize
+}
+
+func (fs *FS) readInode(idx int) (inode, error) {
+	block, off := fs.inodePos(idx)
+	buf := make([]byte, vdisk.BlockSize)
+	if err := fs.dev.ReadBlock(block, buf); err != nil {
+		return inode{}, err
+	}
+	return decodeInode(idx, buf[off:off+InodeSize]), nil
+}
+
+func decodeInode(idx int, rec []byte) inode {
+	ino := inode{
+		idx:   idx,
+		state: binary.LittleEndian.Uint32(rec[0:]),
+		size:  binary.LittleEndian.Uint32(rec[4:]),
+		owner: binary.LittleEndian.Uint32(rec[8:]),
+		mtime: binary.LittleEndian.Uint64(rec[12:]),
+	}
+	nameEnd := 20
+	for nameEnd < 20+NameLen && rec[nameEnd] != 0 {
+		nameEnd++
+	}
+	ino.name = string(rec[20:nameEnd])
+	for i := 0; i < DirectBlocks; i++ {
+		ino.blocks[i] = binary.LittleEndian.Uint32(rec[20+NameLen+4*i:])
+	}
+	return ino
+}
+
+func (fs *FS) writeInode(ino inode) error {
+	rec := make([]byte, InodeSize)
+	binary.LittleEndian.PutUint32(rec[0:], ino.state)
+	binary.LittleEndian.PutUint32(rec[4:], ino.size)
+	binary.LittleEndian.PutUint32(rec[8:], ino.owner)
+	binary.LittleEndian.PutUint64(rec[12:], ino.mtime)
+	copy(rec[20:20+NameLen], ino.name)
+	for i := 0; i < DirectBlocks; i++ {
+		binary.LittleEndian.PutUint32(rec[20+NameLen+4*i:], ino.blocks[i])
+	}
+	block, off := fs.inodePos(ino.idx)
+	return fs.dev.WriteBlock(block, off, rec)
+}
+
+func (fs *FS) findInode(name string) (inode, error) {
+	for i := 0; i < fs.inodeCount; i++ {
+		ino, err := fs.readInode(i)
+		if err != nil {
+			return inode{}, err
+		}
+		if ino.state == inodeFile && ino.name == name {
+			return ino, nil
+		}
+	}
+	return inode{}, fmt.Errorf("guestfs: %q: %w", name, ErrNotFound)
+}
+
+// allocBlock finds a free data block in the bitmap and marks it used.
+func (fs *FS) allocBlock() (int, error) {
+	bm := make([]byte, vdisk.BlockSize)
+	if err := fs.dev.ReadBlock(1, bm); err != nil {
+		return 0, err
+	}
+	limit := fs.dev.Blocks() - fs.dataStart
+	if limit > vdisk.BlockSize {
+		limit = vdisk.BlockSize
+	}
+	for i := 0; i < limit; i++ {
+		if bm[i] == 0 {
+			if err := fs.dev.WriteBlock(1, i, []byte{1}); err != nil {
+				return 0, err
+			}
+			return fs.dataStart + i, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (fs *FS) freeBlock(block int) error {
+	return fs.dev.WriteBlock(1, block-fs.dataStart, []byte{0})
+}
+
+// Create makes an empty file owned by owner.
+func (fs *FS) Create(name string, owner uint32, mtime uint64) error {
+	if len(name) == 0 || len(name) > NameLen {
+		return fmt.Errorf("guestfs: create %q: bad name length", name)
+	}
+	if _, err := fs.findInode(name); err == nil {
+		return fmt.Errorf("guestfs: create %q: %w", name, ErrExists)
+	}
+	for i := 0; i < fs.inodeCount; i++ {
+		ino, err := fs.readInode(i)
+		if err != nil {
+			return err
+		}
+		if ino.state == inodeFile {
+			continue
+		}
+		return fs.writeInode(inode{idx: i, state: inodeFile, owner: owner, mtime: mtime, name: name})
+	}
+	return fmt.Errorf("guestfs: create %q: inode table full: %w", name, ErrNoSpace)
+}
+
+// WriteFile replaces a file's contents.
+func (fs *FS) WriteFile(name string, data []byte, mtime uint64) error {
+	if len(data) > MaxFileSize {
+		return fmt.Errorf("guestfs: write %q (%d bytes): %w", name, len(data), ErrTooLarge)
+	}
+	ino, err := fs.findInode(name)
+	if err != nil {
+		return err
+	}
+	// Free old blocks, then allocate fresh ones.
+	for i := 0; i < DirectBlocks; i++ {
+		if ino.blocks[i] != 0 {
+			if err := fs.freeBlock(int(ino.blocks[i])); err != nil {
+				return err
+			}
+			ino.blocks[i] = 0
+		}
+	}
+	need := (len(data) + vdisk.BlockSize - 1) / vdisk.BlockSize
+	for i := 0; i < need; i++ {
+		block, err := fs.allocBlock()
+		if err != nil {
+			return fmt.Errorf("guestfs: write %q: %w", name, err)
+		}
+		ino.blocks[i] = uint32(block)
+		chunk := data[i*vdisk.BlockSize:]
+		if len(chunk) > vdisk.BlockSize {
+			chunk = chunk[:vdisk.BlockSize]
+		}
+		if err := fs.dev.WriteBlock(block, 0, chunk); err != nil {
+			return err
+		}
+	}
+	ino.size = uint32(len(data))
+	ino.mtime = mtime
+	return fs.writeInode(ino)
+}
+
+// ReadFile returns a file's contents.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	ino, err := fs.findInode(name)
+	if err != nil {
+		return nil, err
+	}
+	return fs.readContents(ino)
+}
+
+func (fs *FS) readContents(ino inode) ([]byte, error) {
+	out := make([]byte, 0, ino.size)
+	remaining := int(ino.size)
+	buf := make([]byte, vdisk.BlockSize)
+	for i := 0; i < DirectBlocks && remaining > 0; i++ {
+		if ino.blocks[i] == 0 {
+			break
+		}
+		if err := fs.dev.ReadBlock(int(ino.blocks[i]), buf); err != nil {
+			return nil, err
+		}
+		n := remaining
+		if n > vdisk.BlockSize {
+			n = vdisk.BlockSize
+		}
+		out = append(out, buf[:n]...)
+		remaining -= n
+	}
+	return out, nil
+}
+
+// Delete marks a file deleted. Its inode and data blocks keep their
+// bytes (the blocks return to the free pool), which is exactly the
+// residue disk forensics recovers.
+func (fs *FS) Delete(name string) error {
+	ino, err := fs.findInode(name)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < DirectBlocks; i++ {
+		if ino.blocks[i] != 0 {
+			if err := fs.freeBlock(int(ino.blocks[i])); err != nil {
+				return err
+			}
+		}
+	}
+	ino.state = inodeDeleted
+	return fs.writeInode(ino)
+}
+
+// FileInfo describes one live file.
+type FileInfo struct {
+	Name  string
+	Size  int
+	Owner uint32
+	MTime uint64
+}
+
+// List returns the live files.
+func (fs *FS) List() ([]FileInfo, error) {
+	var out []FileInfo
+	for i := 0; i < fs.inodeCount; i++ {
+		ino, err := fs.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		if ino.state != inodeFile {
+			continue
+		}
+		out = append(out, FileInfo{Name: ino.name, Size: int(ino.size), Owner: ino.owner, MTime: ino.mtime})
+	}
+	return out, nil
+}

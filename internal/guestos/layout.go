@@ -1,0 +1,67 @@
+package guestos
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Capacity limits for the kernel's fixed slabs.
+const (
+	MaxTasks   = 64
+	MaxModules = 16
+	MaxSockets = 64
+	MaxFiles   = 64
+	MaxRegKeys = 64
+
+	// globalsSlots is the number of 8-byte kernel global pointers
+	// (modules head, socket list head, file list head, registry head).
+	globalsSlots = 4
+
+	// canaryHeaderSize holds {count uint32, capacity uint32, pad uint64}.
+	canaryHeaderSize = 16
+)
+
+// Layout fixes the guest-physical placement of every kernel structure.
+// Everything is page-aligned so dirty-page reasoning is simple.
+type Layout struct {
+	GlobalsPA      uint64 // kernel global pointers
+	SyscallTablePA uint64
+	TaskSlabPA     uint64
+	ModuleSlabPA   uint64
+	PIDHashPA      uint64
+	SockSlabPA     uint64
+	FileSlabPA     uint64
+	MMSlabPA       uint64
+	RegSlabPA      uint64
+	CanaryTablePA  uint64
+	CanaryCapacity int
+	// FirstFreePage is where the process-region page allocator starts.
+	FirstFreePage int
+}
+
+func computeLayout(p *Profile, memPages, canaryCapacity int) (Layout, error) {
+	var l Layout
+	page := 1 // page 0 reserved (boot info)
+	next := func(bytes int) uint64 {
+		pa := uint64(page) * mem.PageSize
+		page += (bytes + mem.PageSize - 1) / mem.PageSize
+		return pa
+	}
+	l.GlobalsPA = next(globalsSlots * 8)
+	l.SyscallTablePA = next(p.NumSyscalls * 8)
+	l.TaskSlabPA = next(MaxTasks * p.TaskSize)
+	l.ModuleSlabPA = next(MaxModules * p.ModuleSize)
+	l.PIDHashPA = next(p.PIDHashBuckets * 8)
+	l.SockSlabPA = next(MaxSockets * p.SockSize)
+	l.FileSlabPA = next(MaxFiles * p.FileSize)
+	l.MMSlabPA = next(MaxTasks * p.MMSize)
+	l.RegSlabPA = next(MaxRegKeys * regKeySize)
+	l.CanaryTablePA = next(canaryHeaderSize + canaryCapacity*p.CanaryEntrySize)
+	l.CanaryCapacity = canaryCapacity
+	l.FirstFreePage = page
+	if page >= memPages {
+		return Layout{}, fmt.Errorf("guestos: kernel layout needs %d pages, guest has %d", page, memPages)
+	}
+	return l, nil
+}

@@ -1,0 +1,68 @@
+package guestos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMemcheck is returned by guarded writes when inline memory checking
+// detects an out-of-bounds access.
+var ErrMemcheck = errors.New("guestos: memcheck violation")
+
+// MemcheckViolationError carries the details of an inline bounds-check
+// hit, mirroring an AddressSanitizer report.
+type MemcheckViolationError struct {
+	PID      uint32
+	VA       uint64
+	Length   int
+	AllocVA  uint64
+	AllocLen int
+}
+
+// Error implements error.
+func (e *MemcheckViolationError) Error() string {
+	return fmt.Sprintf(
+		"guestos: memcheck: heap-buffer-overflow: pid %d write of %d bytes at %#x overruns %d-byte allocation at %#x",
+		e.PID, e.Length, e.VA, e.AllocLen, e.AllocVA)
+}
+
+// Unwrap makes the error match ErrMemcheck.
+func (e *MemcheckViolationError) Unwrap() error { return ErrMemcheck }
+
+// SetMemcheck enables or disables inline bounds checking on user
+// writes — the AddressSanitizer baseline the paper compares against:
+// every heap access is validated on the critical path, giving a zero
+// window of vulnerability at a 40-60% runtime cost (§5.2), instead of
+// CRIMES' once-per-epoch canary scan.
+func (g *Guest) SetMemcheck(on bool) { g.memcheck = on }
+
+// Memcheck reports whether inline bounds checking is enabled.
+func (g *Guest) Memcheck() bool { return g.memcheck }
+
+// checkWriteBounds validates a user write against the heap allocation
+// containing its start address, if any. Writes outside any allocation
+// (stack, unallocated arena space) are permitted, as ASan only guards
+// red zones around allocations.
+func (g *Guest) checkWriteBounds(pid uint32, va uint64, n int) error {
+	p, err := g.Process(pid)
+	if err != nil {
+		return err
+	}
+	g.memcheckOps++
+	for base, info := range p.allocs {
+		if va >= base && va < base+uint64(info.size) {
+			if va+uint64(n) > base+uint64(info.size) {
+				return &MemcheckViolationError{
+					PID: pid, VA: va, Length: n,
+					AllocVA: base, AllocLen: info.size,
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// MemcheckOps reports how many inline checks have run — the per-access
+// instrumentation cost the cost model prices with the ASan factor.
+func (g *Guest) MemcheckOps() uint64 { return g.memcheckOps }

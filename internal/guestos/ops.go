@@ -1,0 +1,438 @@
+package guestos
+
+import "fmt"
+
+// OpKind enumerates the guest operations that can occur during an epoch.
+// Every state mutation flows through an Op so that the analyzer can
+// deterministically replay an epoch against the rolled-back checkpoint
+// (§3.3 Rollback and Replay).
+type OpKind int
+
+// Guest operation kinds.
+const (
+	OpProcStart OpKind = iota + 1
+	OpProcExit
+	OpProcHide
+	OpModLoad
+	OpSockOpen
+	OpSockClose
+	OpFileOpen
+	OpFileClose
+	OpHeapAlloc
+	OpHeapFree
+	OpUserWrite
+	OpNetSend
+	OpDiskWrite
+	OpCompute
+	OpSyscallHijack
+	OpBlockWrite
+	OpProcCloak
+	OpModHide
+	OpRegSet
+)
+
+// String renders the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpProcStart:
+		return "proc-start"
+	case OpProcExit:
+		return "proc-exit"
+	case OpProcHide:
+		return "proc-hide"
+	case OpModLoad:
+		return "mod-load"
+	case OpSockOpen:
+		return "sock-open"
+	case OpSockClose:
+		return "sock-close"
+	case OpFileOpen:
+		return "file-open"
+	case OpFileClose:
+		return "file-close"
+	case OpHeapAlloc:
+		return "heap-alloc"
+	case OpHeapFree:
+		return "heap-free"
+	case OpUserWrite:
+		return "user-write"
+	case OpNetSend:
+		return "net-send"
+	case OpDiskWrite:
+		return "disk-write"
+	case OpCompute:
+		return "compute"
+	case OpSyscallHijack:
+		return "syscall-hijack"
+	case OpBlockWrite:
+		return "block-write"
+	case OpProcCloak:
+		return "proc-cloak"
+	case OpModHide:
+		return "mod-hide"
+	case OpRegSet:
+		return "reg-set"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one recorded guest operation. The synthetic instruction pointer
+// for op n is OpRIP(n); the vCPU is set to it before the op executes, so
+// memory events raised during replay identify the responsible "instruction".
+type Op struct {
+	Seq  uint64
+	Kind OpKind
+	PID  uint32
+
+	Name string // process name / module name / file path
+	UID  uint32
+	VA   uint64 // target address for writes and frees
+	Data []byte // write data / packet payload / disk data
+	Size int    // allocation size, heap pages, compute units
+
+	IP   [4]byte // socket/packet remote address
+	Port uint16
+
+	Slot  int    // syscall index for hijack, socket/file slot for close
+	Value uint64 // hijack replacement handler
+
+	// ResultPID and ResultVA record the live outcome so replay can
+	// verify determinism.
+	ResultPID uint32
+	ResultVA  uint64
+}
+
+// opCodeBase is the synthetic text segment where recorded ops "execute".
+const opCodeBase = 0x0000000000401000
+
+// opStride spaces synthetic instruction addresses.
+const opStride = 0x10
+
+// OpRIP returns the synthetic instruction pointer for op sequence seq.
+func OpRIP(seq uint64) uint64 { return opCodeBase + seq*opStride }
+
+// SeqFromRIP inverts OpRIP.
+func SeqFromRIP(rip uint64) uint64 { return (rip - opCodeBase) / opStride }
+
+// BeginEpoch starts a fresh op log for the next epoch.
+func (g *Guest) BeginEpoch() { g.epochOps = g.epochOps[:0] }
+
+// EpochOps returns a copy of the ops recorded since BeginEpoch.
+func (g *Guest) EpochOps() []Op {
+	out := make([]Op, len(g.epochOps))
+	copy(out, g.epochOps)
+	return out
+}
+
+// perform executes op live: assigns a sequence number, stamps the vCPU,
+// dispatches, records the result, and appends to the epoch log.
+func (g *Guest) perform(op Op) (Op, error) {
+	op.Seq = g.opSeq
+	g.opSeq++
+	done, err := g.dispatch(op)
+	if err != nil {
+		return op, err
+	}
+	g.epochOps = append(g.epochOps, done)
+	return done, nil
+}
+
+// Replay re-executes a previously recorded op against the guest's
+// current (rolled-back) state and verifies the outcome matches the live
+// run. It does not append to the op log.
+func (g *Guest) Replay(op Op) error {
+	done, err := g.dispatch(op)
+	if err != nil {
+		return fmt.Errorf("replay op %d (%v): %w", op.Seq, op.Kind, err)
+	}
+	if done.ResultPID != op.ResultPID || done.ResultVA != op.ResultVA {
+		return fmt.Errorf("replay op %d (%v): divergence: got pid=%d va=%#x, want pid=%d va=%#x",
+			op.Seq, op.Kind, done.ResultPID, done.ResultVA, op.ResultPID, op.ResultVA)
+	}
+	return nil
+}
+
+func (g *Guest) dispatch(op Op) (Op, error) {
+	// Stamp the vCPU so memory events attribute accesses to this op.
+	vcpu := g.dom.VCPU()
+	vcpu.RIP = OpRIP(op.Seq)
+	g.dom.SetVCPU(vcpu)
+	g.now += opBaseCostNs
+
+	var err error
+	switch op.Kind {
+	case OpProcStart:
+		var pid uint32
+		pid, err = g.doStartProcess(op.Name, op.UID, op.Size)
+		op.ResultPID = pid
+	case OpProcExit:
+		err = g.doExitProcess(op.PID)
+	case OpProcHide:
+		err = g.doHideProcess(op.PID)
+	case OpModLoad:
+		var va uint64
+		va, err = g.loadModule(op.Name, op.Size)
+		op.ResultVA = va
+	case OpSockOpen:
+		var slot int
+		slot, err = g.doOpenSocket(op.PID, op.IP, op.Port)
+		op.ResultVA = uint64(slot)
+	case OpSockClose:
+		err = g.doCloseSocket(op.Slot)
+	case OpFileOpen:
+		var slot int
+		slot, err = g.doOpenFile(op.PID, op.Name)
+		op.ResultVA = uint64(slot)
+	case OpFileClose:
+		err = g.doCloseFile(op.Slot)
+	case OpHeapAlloc:
+		var va uint64
+		va, err = g.doAlloc(op.PID, op.Size)
+		op.ResultVA = va
+	case OpHeapFree:
+		err = g.doFree(op.PID, op.VA)
+	case OpUserWrite:
+		err = g.doUserWrite(op.PID, op.VA, op.Data)
+	case OpNetSend:
+		g.doNetSend(op)
+	case OpDiskWrite:
+		g.doDiskWrite(op)
+	case OpCompute:
+		g.now += uint64(op.Size) * computeUnitNs
+	case OpSyscallHijack:
+		err = g.doHijackSyscall(op.Slot, op.Value)
+	case OpBlockWrite:
+		err = g.doBlockWrite(op.Slot, op.Size, op.Data)
+	case OpProcCloak:
+		err = g.doCloakProcess(op.PID)
+	case OpModHide:
+		err = g.doHideModule(op.Name)
+	case OpRegSet:
+		err = g.doSetRegValue(op.Name, op.Data)
+	default:
+		err = fmt.Errorf("guestos: unknown op kind %v", op.Kind)
+	}
+	if err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// Virtual-time costs for guest ops.
+const (
+	opBaseCostNs  = 100
+	computeUnitNs = 1000
+)
+
+// --- public op-recording API ---------------------------------------------
+
+// StartProcess creates a process with a heap of heapPages pages and
+// returns its PID.
+func (g *Guest) StartProcess(name string, uid uint32, heapPages int) (uint32, error) {
+	op, err := g.perform(Op{Kind: OpProcStart, Name: name, UID: uid, Size: heapPages})
+	return op.ResultPID, err
+}
+
+// ExitProcess terminates a process, unlinking it from the task list and
+// pid hash. Its task bytes remain in the slab until the slot is reused
+// (evidence psscan can find).
+func (g *Guest) ExitProcess(pid uint32) error {
+	_, err := g.perform(Op{Kind: OpProcExit, PID: pid})
+	return err
+}
+
+// HideProcess unlinks a live process from the task list while leaving it
+// in the pid hash — the direct kernel object manipulation a rootkit uses
+// to hide a process from ps. psxview-style cross views catch this.
+func (g *Guest) HideProcess(pid uint32) error {
+	_, err := g.perform(Op{Kind: OpProcHide, PID: pid})
+	return err
+}
+
+// HideModule unlinks a kernel module record from the module list while
+// leaving its bytes in the slab — how a rootkit module hides itself
+// from lsmod. Heuristic module scans (modscan) still find the record.
+func (g *Guest) HideModule(name string) error {
+	_, err := g.perform(Op{Kind: OpModHide, Name: name})
+	return err
+}
+
+// CloakProcess performs the full DKOM hide: the live process is
+// unlinked from BOTH the task list and the pid hash. Only a heuristic
+// whole-memory signature sweep (deep psscan) can still find its record.
+func (g *Guest) CloakProcess(pid uint32) error {
+	_, err := g.perform(Op{Kind: OpProcCloak, PID: pid})
+	return err
+}
+
+// LoadModule links a kernel module record into the module list.
+func (g *Guest) LoadModule(name string, size int) (uint64, error) {
+	op, err := g.perform(Op{Kind: OpModLoad, Name: name, Size: size})
+	return op.ResultVA, err
+}
+
+// OpenSocket records an open TCP connection for a process and returns
+// its kernel slot.
+func (g *Guest) OpenSocket(pid uint32, remote [4]byte, port uint16) (int, error) {
+	op, err := g.perform(Op{Kind: OpSockOpen, PID: pid, IP: remote, Port: port})
+	return int(op.ResultVA), err
+}
+
+// CloseSocket transitions a socket record to CLOSE_WAIT and unlinks it.
+func (g *Guest) CloseSocket(slot int) error {
+	_, err := g.perform(Op{Kind: OpSockClose, Slot: slot})
+	return err
+}
+
+// OpenFile records an open file handle for a process.
+func (g *Guest) OpenFile(pid uint32, path string) (int, error) {
+	op, err := g.perform(Op{Kind: OpFileOpen, PID: pid, Name: path})
+	return int(op.ResultVA), err
+}
+
+// CloseFile releases an open file handle.
+func (g *Guest) CloseFile(slot int) error {
+	_, err := g.perform(Op{Kind: OpFileClose, Slot: slot})
+	return err
+}
+
+// Malloc allocates size bytes on a process heap through the guest's
+// canary-placing malloc wrapper (§4.2) and returns the user VA.
+func (g *Guest) Malloc(pid uint32, size int) (uint64, error) {
+	op, err := g.perform(Op{Kind: OpHeapAlloc, PID: pid, Size: size})
+	return op.ResultVA, err
+}
+
+// Free releases a heap object and retires its canary-table entry.
+func (g *Guest) Free(pid uint32, va uint64) error {
+	_, err := g.perform(Op{Kind: OpHeapFree, PID: pid, VA: va})
+	return err
+}
+
+// WriteUser writes data into a process's address space with C semantics:
+// no allocation bounds are enforced, only the region limit. Writing past
+// the end of a Malloc'd object corrupts its canary — the evidence the
+// CRIMES detector finds.
+func (g *Guest) WriteUser(pid uint32, va uint64, data []byte) error {
+	_, err := g.perform(Op{Kind: OpUserWrite, PID: pid, VA: va, Data: append([]byte(nil), data...)})
+	return err
+}
+
+// SendPacket emits an outgoing network packet (an external output that
+// CRIMES buffers until the epoch's audit passes).
+func (g *Guest) SendPacket(pid uint32, dst [4]byte, port uint16, payload []byte) error {
+	_, err := g.perform(Op{
+		Kind: OpNetSend, PID: pid, IP: dst, Port: port,
+		Data: append([]byte(nil), payload...),
+	})
+	return err
+}
+
+// WriteDisk emits a disk write (the other buffered external output).
+func (g *Guest) WriteDisk(pid uint32, path string, data []byte) error {
+	_, err := g.perform(Op{
+		Kind: OpDiskWrite, PID: pid, Name: path,
+		Data: append([]byte(nil), data...),
+	})
+	return err
+}
+
+// Compute advances the process's virtual CPU time by units.
+func (g *Guest) Compute(pid uint32, units int) error {
+	_, err := g.perform(Op{Kind: OpCompute, PID: pid, Size: units})
+	return err
+}
+
+// WriteBlock writes data into the attached virtual disk at (block,
+// offset). Unlike WriteDisk — which emits a buffered external output —
+// block writes mutate replicated VM state and are checkpointed and
+// rolled back with memory.
+func (g *Guest) WriteBlock(pid uint32, block, offset int, data []byte) error {
+	_, err := g.perform(Op{
+		Kind: OpBlockWrite, PID: pid, Slot: block, Size: offset,
+		Data: append([]byte(nil), data...),
+	})
+	return err
+}
+
+// HijackSyscall overwrites syscall table entry idx with a rogue handler
+// address — the kernel-level attack the syscall-integrity module detects.
+func (g *Guest) HijackSyscall(idx int, handler uint64) error {
+	_, err := g.perform(Op{Kind: OpSyscallHijack, Slot: idx, Value: handler})
+	return err
+}
+
+func (g *Guest) doNetSend(op Op) {
+	if g.outputs == nil {
+		return
+	}
+	g.outputs.SendPacket(Packet{
+		SrcPID:  op.PID,
+		DstIP:   op.IP,
+		DstPort: op.Port,
+		Payload: op.Data,
+		Seq:     op.Seq,
+	})
+}
+
+func (g *Guest) doDiskWrite(op Op) {
+	if g.outputs == nil {
+		return
+	}
+	g.outputs.WriteDisk(DiskWrite{
+		PID:  op.PID,
+		Path: op.Name,
+		Data: op.Data,
+		Seq:  op.Seq,
+	})
+}
+
+func (g *Guest) doBlockWrite(block, offset int, data []byte) error {
+	if g.disk == nil {
+		return fmt.Errorf("guestos: block write: no disk attached")
+	}
+	return g.disk.WriteBlock(block, offset, data)
+}
+
+func (g *Guest) doHijackSyscall(idx int, handler uint64) error {
+	if idx < 0 || idx >= g.prof.NumSyscalls {
+		return fmt.Errorf("guestos: hijack syscall %d: out of range", idx)
+	}
+	return g.writeU64(g.layout.SyscallTablePA+uint64(idx*8), handler)
+}
+
+// Packet is an outgoing network packet.
+type Packet struct {
+	SrcPID  uint32
+	DstIP   [4]byte
+	DstPort uint16
+	Payload []byte
+	Seq     uint64
+}
+
+// DiskWrite is an outgoing disk write.
+type DiskWrite struct {
+	PID  uint32
+	Path string
+	Data []byte
+	Seq  uint64
+}
+
+// OutputSink receives the guest's external outputs.
+type OutputSink interface {
+	SendPacket(Packet)
+	WriteDisk(DiskWrite)
+}
+
+// DiscardSink drops all outputs; the analyzer installs it during replay
+// so a replayed attack cannot emit anything externally.
+type DiscardSink struct{}
+
+var _ OutputSink = DiscardSink{}
+
+// SendPacket discards the packet.
+func (DiscardSink) SendPacket(Packet) {}
+
+// WriteDisk discards the write.
+func (DiscardSink) WriteDisk(DiskWrite) {}

@@ -1,0 +1,238 @@
+// Package guestos implements the simulated guest operating system that
+// runs inside an hv.Domain. All kernel state that matters to CRIMES —
+// the task list, syscall table, module list, pid hash, socket and file
+// tables, per-process heaps with canaries, and the guest-aided canary
+// lookup table — is laid out as little-endian binary records in guest
+// physical memory, so that introspection (internal/vmi) and forensics
+// (internal/volatility) genuinely parse raw memory bytes, exactly as
+// LibVMI and Volatility do against a real guest.
+package guestos
+
+// OSKind distinguishes guest operating system families. CRIMES' malware
+// case study (§5.6) runs against an unmodified Windows guest; the buffer
+// overflow case study (§5.5) runs against Linux.
+type OSKind int
+
+// Guest OS families.
+const (
+	Linux OSKind = iota + 1
+	Windows
+)
+
+// String renders the OS kind.
+func (k OSKind) String() string {
+	switch k {
+	case Linux:
+		return "linux"
+	case Windows:
+		return "windows"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile describes a guest kernel's in-memory structure layout: the
+// field offsets and sizes that introspection needs to parse raw memory.
+// This is the equivalent of a LibVMI libvmi.conf entry plus a Volatility
+// profile. Both the guest kernel writer and the VMI reader use the same
+// Profile, but the reader works purely from bytes.
+type Profile struct {
+	OS         OSKind
+	KernelName string
+	// KernelVirtBase is the base of the kernel's linear mapping:
+	// kernel VA = guest PA + KernelVirtBase.
+	KernelVirtBase uint64
+	// UserVirtBase is where process images are linked.
+	UserVirtBase uint64
+
+	// Task (process descriptor) layout.
+	TaskMagic       uint32
+	TaskSize        int
+	TaskOffPID      int
+	TaskOffUID      int
+	TaskOffState    int
+	TaskOffComm     int
+	TaskCommLen     int
+	TaskOffNext     int
+	TaskOffPrev     int
+	TaskOffMM       int
+	TaskOffStart    int
+	TaskOffHashNext int
+
+	// Module descriptor layout.
+	ModuleMagic   uint32
+	ModuleSize    int
+	ModuleOffName int
+	ModuleNameLen int
+	ModuleOffNext int
+	ModuleOffSize int
+
+	// Socket descriptor layout.
+	SockMagic         uint32
+	SockSize          int
+	SockOffProto      int
+	SockOffLocalIP    int
+	SockOffLocalPort  int
+	SockOffRemoteIP   int
+	SockOffRemotePort int
+	SockOffState      int
+	SockOffOwnerPID   int
+	SockOffNext       int
+
+	// Open file handle descriptor layout.
+	FileMagic       uint32
+	FileSize        int
+	FileOffOwnerPID int
+	FileOffPath     int
+	FilePathLen     int
+	FileOffNext     int
+
+	// Memory-map (mm_struct) descriptor layout.
+	MMMagic        uint32
+	MMSize         int
+	MMOffHeapStart int
+	MMOffHeapEnd   int
+	MMOffStackLow  int
+	MMOffStackHigh int
+	MMOffPhysBase  int
+
+	// Canary-table entry layout (guest-aided scanning, §4.2).
+	CanaryEntrySize int
+	CanaryOffVA     int
+	CanaryOffValue  int
+	CanaryOffState  int
+
+	NumSyscalls    int
+	PIDHashBuckets int
+}
+
+// LinuxProfile returns the layout for the simulated Linux 4.8 guest the
+// paper's buffer-overflow case study uses.
+func LinuxProfile() *Profile {
+	return &Profile{
+		OS:             Linux,
+		KernelName:     "linux-4.8-sim",
+		KernelVirtBase: 0xffff880000000000,
+		UserVirtBase:   0x0000000000400000,
+
+		TaskMagic:       0x7A5B0001,
+		TaskSize:        128,
+		TaskOffPID:      4,
+		TaskOffUID:      8,
+		TaskOffState:    12,
+		TaskOffComm:     16,
+		TaskCommLen:     16,
+		TaskOffNext:     32,
+		TaskOffPrev:     40,
+		TaskOffMM:       48,
+		TaskOffStart:    56,
+		TaskOffHashNext: 64,
+
+		ModuleMagic:   0x7A5B0002,
+		ModuleSize:    64,
+		ModuleOffName: 4,
+		ModuleNameLen: 32,
+		ModuleOffNext: 40,
+		ModuleOffSize: 48,
+
+		SockMagic:         0x7A5B0003,
+		SockSize:          48,
+		SockOffProto:      4,
+		SockOffLocalIP:    8,
+		SockOffLocalPort:  12,
+		SockOffRemoteIP:   16,
+		SockOffRemotePort: 20,
+		SockOffState:      24,
+		SockOffOwnerPID:   28,
+		SockOffNext:       32,
+
+		FileMagic:       0x7A5B0004,
+		FileSize:        88,
+		FileOffOwnerPID: 4,
+		FileOffPath:     8,
+		FilePathLen:     64,
+		FileOffNext:     72,
+
+		MMMagic:        0x7A5B0005,
+		MMSize:         48,
+		MMOffHeapStart: 8,
+		MMOffHeapEnd:   16,
+		MMOffStackLow:  24,
+		MMOffStackHigh: 32,
+		MMOffPhysBase:  40,
+
+		CanaryEntrySize: 24,
+		CanaryOffVA:     0,
+		CanaryOffValue:  8,
+		CanaryOffState:  16,
+
+		NumSyscalls:    64,
+		PIDHashBuckets: 16,
+	}
+}
+
+// WindowsProfile returns the layout for the simulated Windows guest the
+// paper's malware case study uses. Offsets and magics differ from Linux
+// so profile-driven parsing is genuinely exercised.
+func WindowsProfile() *Profile {
+	return &Profile{
+		OS:             Windows,
+		KernelName:     "windows-7-sim",
+		KernelVirtBase: 0xfffff80000000000,
+		UserVirtBase:   0x0000000000140000,
+
+		TaskMagic:       0x45500001, // "EP" for EPROCESS
+		TaskSize:        160,
+		TaskOffPID:      8,
+		TaskOffUID:      12,
+		TaskOffState:    16,
+		TaskOffComm:     24,
+		TaskCommLen:     16,
+		TaskOffNext:     48,
+		TaskOffPrev:     56,
+		TaskOffMM:       64,
+		TaskOffStart:    72,
+		TaskOffHashNext: 80,
+
+		ModuleMagic:   0x45500002,
+		ModuleSize:    80,
+		ModuleOffName: 8,
+		ModuleNameLen: 32,
+		ModuleOffNext: 48,
+		ModuleOffSize: 56,
+
+		SockMagic:         0x45500003,
+		SockSize:          56,
+		SockOffProto:      8,
+		SockOffLocalIP:    12,
+		SockOffLocalPort:  16,
+		SockOffRemoteIP:   20,
+		SockOffRemotePort: 24,
+		SockOffState:      28,
+		SockOffOwnerPID:   32,
+		SockOffNext:       40,
+
+		FileMagic:       0x45500004,
+		FileSize:        96,
+		FileOffOwnerPID: 8,
+		FileOffPath:     12,
+		FilePathLen:     64,
+		FileOffNext:     80,
+
+		MMMagic:        0x45500005,
+		MMSize:         56,
+		MMOffHeapStart: 8,
+		MMOffHeapEnd:   16,
+		MMOffStackLow:  24,
+		MMOffStackHigh: 32,
+		MMOffPhysBase:  40,
+
+		CanaryEntrySize: 24,
+		CanaryOffVA:     0,
+		CanaryOffValue:  8,
+		CanaryOffState:  16,
+
+		NumSyscalls:    64,
+		PIDHashBuckets: 16,
+	}
+}

@@ -1,0 +1,114 @@
+package guestos
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Registry hive: the configuration store the §5.6 "malware" reads
+// ("reads registry information on the Windows machine"). Keys live as
+// binary records in kernel memory, linked from a global head pointer,
+// so introspection and forensics can enumerate them from outside the
+// VM. The same structure doubles as /proc/sys-style configuration for
+// the Linux profile.
+
+// Registry record layout: {magic u32, pad u32, path[64], value[64],
+// next u64}.
+const (
+	regKeySize     = 144
+	regOffPath     = 8
+	regPathLen     = 64
+	regOffValue    = 72
+	regValueLen    = 64
+	regOffNext     = 136
+	regMagicLinux  = 0x7A5B0006
+	regMagicWinNT  = 0x45500006
+	regGlobalsSlot = 24 // offset of the hive head pointer in the globals page
+)
+
+func (g *Guest) regMagic() uint32 {
+	if g.prof.OS == Windows {
+		return regMagicWinNT
+	}
+	return regMagicLinux
+}
+
+func (g *Guest) regVA(slot int) uint64 {
+	return g.KernelVA(g.layout.RegSlabPA + uint64(slot*regKeySize))
+}
+
+// SetRegValue creates or updates a registry key (op-logged, so hive
+// mutations replay deterministically).
+func (g *Guest) SetRegValue(path, value string) error {
+	_, err := g.perform(Op{Kind: OpRegSet, Name: path, Data: []byte(value)})
+	return err
+}
+
+func (g *Guest) doSetRegValue(path string, value []byte) error {
+	if len(path) == 0 || len(path) > regPathLen || len(value) > regValueLen {
+		return fmt.Errorf("guestos: reg set %q: path or value too long", path)
+	}
+	// Update in place if the key exists.
+	head, err := g.readU64(g.layout.GlobalsPA + regGlobalsSlot)
+	if err != nil {
+		return err
+	}
+	for cur := head; cur != 0; {
+		rec := make([]byte, regKeySize)
+		if err := g.dom.ReadPhys(g.KernelPA(cur), rec); err != nil {
+			return err
+		}
+		if cstrBytes(rec[regOffPath:regOffPath+regPathLen]) == path {
+			val := make([]byte, regValueLen)
+			copy(val, value)
+			return g.dom.WritePhys(g.KernelPA(cur)+regOffValue, val)
+		}
+		cur = binary.LittleEndian.Uint64(rec[regOffNext:])
+	}
+	slot, err := takeSlot(g.regSlots[:])
+	if err != nil {
+		return fmt.Errorf("guestos: reg set %q: hive full: %w", path, err)
+	}
+	rec := make([]byte, regKeySize)
+	binary.LittleEndian.PutUint32(rec[0:], g.regMagic())
+	writeFixedString(rec[regOffPath:], path, regPathLen)
+	writeFixedString(rec[regOffValue:], string(value), regValueLen)
+	binary.LittleEndian.PutUint64(rec[regOffNext:], head)
+	va := g.regVA(slot)
+	if err := g.dom.WritePhys(g.KernelPA(va), rec); err != nil {
+		return err
+	}
+	return g.writeU64(g.layout.GlobalsPA+regGlobalsSlot, va)
+}
+
+// RegKey is one registry entry as parsed from guest memory.
+type RegKey struct {
+	Path  string
+	Value string
+}
+
+// ReadRegistry enumerates the hive by parsing guest memory — what the
+// case-study malware does before exfiltrating, and what introspection
+// does to audit it.
+func (g *Guest) ReadRegistry() ([]RegKey, error) {
+	head, err := g.readU64(g.layout.GlobalsPA + regGlobalsSlot)
+	if err != nil {
+		return nil, err
+	}
+	var out []RegKey
+	for cur := head; cur != 0 && len(out) <= MaxRegKeys; {
+		rec := make([]byte, regKeySize)
+		if err := g.dom.ReadPhys(g.KernelPA(cur), rec); err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(rec[0:]) != g.regMagic() {
+			return nil, fmt.Errorf("guestos: registry record at %#x has bad magic", cur)
+		}
+		out = append(out, RegKey{
+			Path:  cstrBytes(rec[regOffPath : regOffPath+regPathLen]),
+			Value: cstrBytes(rec[regOffValue : regOffValue+regValueLen]),
+		})
+		cur = binary.LittleEndian.Uint64(rec[regOffNext:])
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package guestos
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Trace persistence: epoch op logs can be saved and replayed later,
+// the record-and-replay capability the paper's related work discusses
+// (Flashback, DejaView, Crosscut, §6). CRIMES itself replays in-memory
+// logs; saved traces additionally support offline reproduction of an
+// incident epoch against a restored checkpoint.
+
+// SaveOps writes an op log to w.
+func SaveOps(w io.Writer, ops []Op) error {
+	if err := gob.NewEncoder(w).Encode(ops); err != nil {
+		return fmt.Errorf("guestos: save ops: %w", err)
+	}
+	return nil
+}
+
+// LoadOps reads an op log written by SaveOps.
+func LoadOps(r io.Reader) ([]Op, error) {
+	var ops []Op
+	if err := gob.NewDecoder(r).Decode(&ops); err != nil {
+		return nil, fmt.Errorf("guestos: load ops: %w", err)
+	}
+	return ops, nil
+}
+
+// ReplayAll replays a full op log, stopping at the first divergence.
+func (g *Guest) ReplayAll(ops []Op) error {
+	for i, op := range ops {
+		if err := g.Replay(op); err != nil {
+			return fmt.Errorf("guestos: replay trace at op %d/%d: %w", i+1, len(ops), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package honeypot implements the extension sketched in the paper's
+// related work (§6): "an extension to CRIMES would be to build a
+// post-mortem analysis module that transforms an attacked VM into a
+// carefully monitored honeypot to gather further information about
+// attacks."
+//
+// After an incident, instead of destroying the compromised VM, Convert
+// resumes it inside a quarantine: every external output is captured
+// (never delivered), kernel structure pages are put under write-event
+// monitoring, and per-epoch observations of the attacker's behavior are
+// accumulated into an activity report.
+package honeypot
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/mem"
+)
+
+// ErrNotPaused is returned when converting a VM that is not paused
+// (honeypot conversion happens after an incident halted the VM).
+var ErrNotPaused = errors.New("honeypot: VM must be paused to convert")
+
+// Honeypot is a quarantined, monitored compromised VM.
+type Honeypot struct {
+	guest *guestos.Guest
+	dom   *hv.Domain
+
+	packets []guestos.Packet
+	disks   []guestos.DiskWrite
+
+	watched []mem.PFN
+	epochs  int
+	obs     []Observation
+}
+
+var _ guestos.OutputSink = (*Honeypot)(nil)
+
+// Observation is what one honeypot epoch recorded.
+type Observation struct {
+	Epoch        int
+	Ops          []guestos.Op
+	KernelWrites []hv.MemEvent
+	Packets      []guestos.Packet
+	DiskWrites   []guestos.DiskWrite
+}
+
+// Convert turns a paused (post-incident) guest into a honeypot: its
+// outputs are quarantined and its kernel structure pages (syscall
+// table, task slab, pid hash, module slab) are placed under write-event
+// monitoring. Event monitoring is expensive (§4.2), which is acceptable
+// here: the VM is already known-compromised and runs only to be
+// observed.
+func Convert(g *guestos.Guest) (*Honeypot, error) {
+	dom := g.Domain()
+	if dom.State() == hv.StateRunning {
+		return nil, ErrNotPaused
+	}
+	h := &Honeypot{guest: g, dom: dom}
+	layout := g.Layout()
+	for _, pa := range []uint64{
+		layout.SyscallTablePA,
+		layout.TaskSlabPA,
+		layout.PIDHashPA,
+		layout.ModuleSlabPA,
+	} {
+		pfn := mem.PFN(pa >> mem.PageShift)
+		if err := dom.WatchPage(pfn, hv.AccessWrite); err != nil {
+			return nil, fmt.Errorf("honeypot: watch %#x: %w", pa, err)
+		}
+		h.watched = append(h.watched, pfn)
+	}
+	g.SetOutputSink(h)
+	dom.PollEvents() // drop stale events
+	if err := dom.Resume(); err != nil {
+		return nil, fmt.Errorf("honeypot: resume: %w", err)
+	}
+	return h, nil
+}
+
+// SendPacket implements guestos.OutputSink: the packet is captured and
+// never delivered externally.
+func (h *Honeypot) SendPacket(p guestos.Packet) { h.packets = append(h.packets, p) }
+
+// WriteDisk implements guestos.OutputSink.
+func (h *Honeypot) WriteDisk(d guestos.DiskWrite) { h.disks = append(h.disks, d) }
+
+// RunEpoch lets the compromised guest (driven by work, which stands in
+// for the attacker's continued activity) execute one epoch and records
+// everything it did.
+func (h *Honeypot) RunEpoch(work func(*guestos.Guest) error) (*Observation, error) {
+	h.epochs++
+	h.guest.BeginEpoch()
+	h.packets = h.packets[:0]
+	h.disks = h.disks[:0]
+	if work != nil {
+		if err := work(h.guest); err != nil {
+			return nil, fmt.Errorf("honeypot: epoch %d: %w", h.epochs, err)
+		}
+	}
+	obs := Observation{
+		Epoch:        h.epochs,
+		Ops:          h.guest.EpochOps(),
+		KernelWrites: h.dom.PollEvents(),
+		Packets:      append([]guestos.Packet(nil), h.packets...),
+		DiskWrites:   append([]guestos.DiskWrite(nil), h.disks...),
+	}
+	h.obs = append(h.obs, obs)
+	return &obs, nil
+}
+
+// Observations returns everything recorded so far.
+func (h *Honeypot) Observations() []Observation {
+	out := make([]Observation, len(h.obs))
+	copy(out, h.obs)
+	return out
+}
+
+// Release stops monitoring and pauses the VM again.
+func (h *Honeypot) Release() error {
+	for _, pfn := range h.watched {
+		h.dom.UnwatchPage(pfn)
+	}
+	h.watched = nil
+	if h.dom.State() == hv.StateRunning {
+		return h.dom.Pause()
+	}
+	return nil
+}
+
+// Report renders the accumulated attacker activity.
+func (h *Honeypot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== CRIMES Honeypot Activity Report (%d epochs) ===\n", h.epochs)
+	for _, o := range h.obs {
+		fmt.Fprintf(&b, "\nepoch %d: %d guest ops, %d kernel-structure writes, %d captured packets, %d captured disk writes\n",
+			o.Epoch, len(o.Ops), len(o.KernelWrites), len(o.Packets), len(o.DiskWrites))
+		for _, ev := range o.KernelWrites {
+			fmt.Fprintf(&b, "  kernel write: pfn=%d offset=%#x len=%d rip=%#x\n",
+				ev.PFN, ev.Offset, ev.Length, ev.VCPU.RIP)
+		}
+		for _, p := range o.Packets {
+			fmt.Fprintf(&b, "  captured packet: pid=%d -> %d.%d.%d.%d:%d (%d bytes, quarantined)\n",
+				p.SrcPID, p.DstIP[0], p.DstIP[1], p.DstIP[2], p.DstIP[3], p.DstPort, len(p.Payload))
+		}
+		for _, d := range o.DiskWrites {
+			fmt.Fprintf(&b, "  captured disk write: pid=%d %s (%d bytes)\n", d.PID, d.Path, len(d.Data))
+		}
+	}
+	return b.String()
+}

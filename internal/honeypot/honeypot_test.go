@@ -1,0 +1,161 @@
+package honeypot
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/netbuf"
+)
+
+// compromise runs the standard overflow incident and returns the halted
+// controller plus the victim pid.
+func compromise(t *testing.T) (*core.Controller, *netbuf.CollectDeliverer, uint32) {
+	t.Helper()
+	h := hv.New(1040)
+	dom, err := h.CreateDomain("guest", 512)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Seed: 13})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	out := &netbuf.CollectDeliverer{}
+	ctl, err := core.New(h, g, core.Config{
+		EpochInterval: 50 * time.Millisecond,
+		Modules:       []detect.Module{detect.CanaryModule{}},
+		Deliverer:     out,
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	t.Cleanup(func() { _ = ctl.Close() })
+
+	var pid uint32
+	var buf uint64
+	if _, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		if pid, err = g.StartProcess("victim", 0, 8); err != nil {
+			return err
+		}
+		buf, err = g.Malloc(pid, 32)
+		return err
+	}); err != nil {
+		t.Fatalf("setup epoch: %v", err)
+	}
+	res, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		return g.WriteUser(pid, buf, bytes.Repeat([]byte{0xCC}, 48))
+	})
+	if err != nil {
+		t.Fatalf("attack epoch: %v", err)
+	}
+	if res.Incident == nil {
+		t.Fatal("attack not detected")
+	}
+	return ctl, out, pid
+}
+
+func TestConvertRequiresPausedVM(t *testing.T) {
+	h := hv.New(260)
+	dom, _ := h.CreateDomain("guest", 256)
+	g, err := guestos.Boot(dom, guestos.BootConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if _, err := Convert(g); !errors.Is(err, ErrNotPaused) {
+		t.Fatalf("Convert on running VM: %v, want ErrNotPaused", err)
+	}
+}
+
+func TestHoneypotQuarantinesOutputs(t *testing.T) {
+	ctl, out, pid := compromise(t)
+	hp, err := Convert(ctl.Guest())
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	obs, err := hp.RunEpoch(func(g *guestos.Guest) error {
+		if err := g.SendPacket(pid, [4]byte{66, 66, 66, 66}, 6666, []byte("c2 beacon")); err != nil {
+			return err
+		}
+		return g.WriteDisk(pid, "/tmp/dropper", []byte("payload"))
+	})
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	if len(obs.Packets) != 1 || string(obs.Packets[0].Payload) != "c2 beacon" {
+		t.Fatalf("captured packets = %+v", obs.Packets)
+	}
+	if len(obs.DiskWrites) != 1 {
+		t.Fatalf("captured disks = %+v", obs.DiskWrites)
+	}
+	// Nothing left the quarantine.
+	pks, dks := out.Snapshot()
+	if len(pks) != 0 || len(dks) != 0 {
+		t.Fatal("honeypot outputs escaped quarantine")
+	}
+}
+
+func TestHoneypotObservesKernelTampering(t *testing.T) {
+	ctl, _, _ := compromise(t)
+	hp, err := Convert(ctl.Guest())
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	obs, err := hp.RunEpoch(func(g *guestos.Guest) error {
+		return g.HijackSyscall(5, 0xbad)
+	})
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	if len(obs.KernelWrites) == 0 {
+		t.Fatal("syscall hijack not observed by kernel-page watches")
+	}
+	report := hp.Report()
+	for _, want := range []string{"Honeypot Activity Report", "kernel write:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestHoneypotReleaseStopsMonitoring(t *testing.T) {
+	ctl, _, _ := compromise(t)
+	g := ctl.Guest()
+	hp, err := Convert(g)
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if err := hp.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if g.Domain().State() != hv.StatePaused {
+		t.Fatalf("VM state after release = %v, want paused", g.Domain().State())
+	}
+	if g.Domain().WatchCount() != 0 {
+		t.Fatal("watches left armed after release")
+	}
+}
+
+func TestHoneypotAccumulatesObservations(t *testing.T) {
+	ctl, _, pid := compromise(t)
+	hp, err := Convert(ctl.Guest())
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := hp.RunEpoch(func(g *guestos.Guest) error {
+			return g.Compute(pid, 1)
+		}); err != nil {
+			t.Fatalf("RunEpoch %d: %v", i, err)
+		}
+	}
+	if len(hp.Observations()) != 3 {
+		t.Fatalf("observations = %d, want 3", len(hp.Observations()))
+	}
+}

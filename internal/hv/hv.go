@@ -1,0 +1,394 @@
+// Package hv implements the simulated hypervisor substrate that CRIMES
+// runs on: machine memory, domains (VMs) with PFN-to-MFN physmaps and
+// vCPU state, shadow-paging style dirty logging, foreign memory mapping
+// (the equivalent of xenforeignmemory_map), and a memory-event ring
+// buffer equivalent to Xen's mem_event channels used by LibVMI.
+package hv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// DomainID identifies a domain on a host.
+type DomainID int
+
+// DomainState is a domain's lifecycle state.
+type DomainState int
+
+// Domain lifecycle states. Running domains execute guest work; Paused
+// domains briefly stop at a checkpoint boundary; Suspended domains have
+// additionally quiesced vCPU state for capture.
+const (
+	StateRunning DomainState = iota + 1
+	StatePaused
+	StateSuspended
+	StateDestroyed
+)
+
+// String renders the domain state.
+func (s DomainState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateSuspended:
+		return "suspended"
+	case StateDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("DomainState(%d)", int(s))
+	}
+}
+
+var (
+	// ErrNoDomain is returned for lookups of unknown domains.
+	ErrNoDomain = errors.New("hv: no such domain")
+	// ErrBadState is returned when an operation is invalid for the
+	// domain's current state.
+	ErrBadState = errors.New("hv: invalid domain state")
+	// ErrBadAddress is returned for out-of-range guest-physical accesses.
+	ErrBadAddress = errors.New("hv: guest-physical address out of range")
+)
+
+// VCPU is the (simplified) architectural state of a domain's virtual CPU.
+type VCPU struct {
+	RIP    uint64
+	RSP    uint64
+	RBP    uint64
+	RAX    uint64
+	RBX    uint64
+	RCX    uint64
+	RDX    uint64
+	RFlags uint64
+	CR3    uint64
+}
+
+// AccessKind classifies a memory-event watch.
+type AccessKind int
+
+// Memory access kinds for event watches (LibVMI's VMI_EVENT_MEMORY).
+const (
+	AccessRead AccessKind = 1 << iota
+	AccessWrite
+	AccessExec
+)
+
+// MemEvent is a single entry in a domain's memory-event ring, produced
+// when a watched page is accessed.
+type MemEvent struct {
+	PFN    mem.PFN
+	Offset uint64 // offset within the page
+	Length int
+	Access AccessKind
+	VCPU   VCPU   // vCPU state at the time of the access
+	Data   []byte // the bytes written, for write events
+}
+
+// Hypercalls counts the hypervisor operations a client performed, so
+// experiments can price them with a cost model.
+type Hypercalls struct {
+	MapPage     int // per-page foreign map operations
+	UnmapPage   int // per-page unmap operations
+	Translate   int // PFN-to-MFN translation lookups via hypercall
+	DirtyRead   int // dirty-bitmap harvest hypercalls
+	EventConfig int // memory-event (un)watch configuration calls
+}
+
+// Add accumulates another counter set into h.
+func (h *Hypercalls) Add(o Hypercalls) {
+	h.MapPage += o.MapPage
+	h.UnmapPage += o.UnmapPage
+	h.Translate += o.Translate
+	h.DirtyRead += o.DirtyRead
+	h.EventConfig += o.EventConfig
+}
+
+// Hypervisor owns machine memory and the domains running on a host.
+type Hypervisor struct {
+	machine *mem.Machine
+	domains map[DomainID]*Domain
+	nextID  DomainID
+	calls   Hypercalls
+}
+
+// New creates a hypervisor managing the given number of machine frames.
+func New(machineFrames int) *Hypervisor {
+	return &Hypervisor{
+		machine: mem.NewMachine(machineFrames),
+		domains: make(map[DomainID]*Domain),
+		nextID:  1,
+	}
+}
+
+// Machine exposes the underlying machine memory pool.
+func (h *Hypervisor) Machine() *mem.Machine { return h.machine }
+
+// Calls returns the accumulated hypercall counters.
+func (h *Hypervisor) Calls() Hypercalls { return h.calls }
+
+// ResetCalls zeroes the hypercall counters.
+func (h *Hypervisor) ResetCalls() { h.calls = Hypercalls{} }
+
+// CreateDomain allocates a domain with the given guest-physical memory
+// size in pages.
+func (h *Hypervisor) CreateDomain(name string, pages int) (*Domain, error) {
+	mfns, err := h.machine.AllocN(pages)
+	if err != nil {
+		return nil, fmt.Errorf("create domain %q: %w", name, err)
+	}
+	d := &Domain{
+		hv:      h,
+		id:      h.nextID,
+		name:    name,
+		physmap: mfns,
+		state:   StateRunning,
+		dirty:   mem.NewBitmap(pages),
+		watches: make(map[mem.PFN]AccessKind),
+	}
+	h.nextID++
+	h.domains[d.id] = d
+	return d, nil
+}
+
+// Domain looks up a domain by ID.
+func (h *Hypervisor) Domain(id DomainID) (*Domain, error) {
+	d, ok := h.domains[id]
+	if !ok {
+		return nil, fmt.Errorf("domain %d: %w", id, ErrNoDomain)
+	}
+	return d, nil
+}
+
+// DestroyDomain releases a domain and its machine frames.
+func (h *Hypervisor) DestroyDomain(id DomainID) error {
+	d, ok := h.domains[id]
+	if !ok {
+		return fmt.Errorf("destroy domain %d: %w", id, ErrNoDomain)
+	}
+	for _, mfn := range d.physmap {
+		if mfn != mem.InvalidMFN {
+			if err := h.machine.Free(mfn); err != nil {
+				return fmt.Errorf("destroy domain %d: %w", id, err)
+			}
+		}
+	}
+	d.state = StateDestroyed
+	delete(h.domains, id)
+	return nil
+}
+
+// Domain is a virtual machine: guest-physical memory mapped onto machine
+// frames, a vCPU, a dirty-page log, and memory-event watches.
+type Domain struct {
+	hv      *Hypervisor
+	id      DomainID
+	name    string
+	physmap []mem.MFN
+	vcpu    VCPU
+	state   DomainState
+
+	dirtyLogging bool
+	dirty        *mem.Bitmap
+
+	watches map[mem.PFN]AccessKind
+	ring    []MemEvent
+
+	bytesWritten uint64 // cumulative guest-physical bytes written
+}
+
+// ID returns the domain's identifier.
+func (d *Domain) ID() DomainID { return d.id }
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// Pages returns the domain's guest-physical size in pages.
+func (d *Domain) Pages() int { return len(d.physmap) }
+
+// MemBytes returns the domain's guest-physical size in bytes.
+func (d *Domain) MemBytes() uint64 { return uint64(len(d.physmap)) * mem.PageSize }
+
+// State returns the domain's lifecycle state.
+func (d *Domain) State() DomainState { return d.state }
+
+// VCPU returns a copy of the domain's vCPU state.
+func (d *Domain) VCPU() VCPU { return d.vcpu }
+
+// SetVCPU replaces the domain's vCPU state.
+func (d *Domain) SetVCPU(v VCPU) { d.vcpu = v }
+
+// BytesWritten reports cumulative bytes written to guest memory, used by
+// workload accounting.
+func (d *Domain) BytesWritten() uint64 { return d.bytesWritten }
+
+// Pause stops the domain at an instruction boundary.
+func (d *Domain) Pause() error {
+	if d.state != StateRunning {
+		return fmt.Errorf("pause domain %d in state %v: %w", d.id, d.state, ErrBadState)
+	}
+	d.state = StatePaused
+	return nil
+}
+
+// Suspend quiesces a paused domain for state capture.
+func (d *Domain) Suspend() error {
+	if d.state != StatePaused && d.state != StateRunning {
+		return fmt.Errorf("suspend domain %d in state %v: %w", d.id, d.state, ErrBadState)
+	}
+	d.state = StateSuspended
+	return nil
+}
+
+// Resume returns a paused or suspended domain to execution.
+func (d *Domain) Resume() error {
+	if d.state != StatePaused && d.state != StateSuspended {
+		return fmt.Errorf("resume domain %d in state %v: %w", d.id, d.state, ErrBadState)
+	}
+	d.state = StateRunning
+	return nil
+}
+
+// Translate returns the machine frame backing a guest-physical page,
+// counting the translation hypercall.
+func (d *Domain) Translate(pfn mem.PFN) (mem.MFN, error) {
+	if uint64(pfn) >= uint64(len(d.physmap)) {
+		return mem.InvalidMFN, fmt.Errorf("translate pfn %d: %w", pfn, ErrBadAddress)
+	}
+	d.hv.calls.Translate++
+	return d.physmap[pfn], nil
+}
+
+// PhysmapSnapshot returns a copy of the full PFN-to-MFN table. Building
+// it counts one translation hypercall per page; CRIMES' Pre-map
+// optimization does this once at startup instead of every epoch.
+func (d *Domain) PhysmapSnapshot() []mem.MFN {
+	d.hv.calls.Translate += len(d.physmap)
+	out := make([]mem.MFN, len(d.physmap))
+	copy(out, d.physmap)
+	return out
+}
+
+// ReadPhys reads guest-physical memory into buf starting at paddr.
+func (d *Domain) ReadPhys(paddr uint64, buf []byte) error {
+	return d.access(paddr, buf, false)
+}
+
+// WritePhys writes data into guest-physical memory at paddr, updating
+// the dirty log and firing memory-event watches.
+func (d *Domain) WritePhys(paddr uint64, data []byte) error {
+	return d.access(paddr, data, true)
+}
+
+func (d *Domain) access(paddr uint64, buf []byte, write bool) error {
+	if d.state == StateDestroyed {
+		return fmt.Errorf("domain %d destroyed: %w", d.id, ErrBadState)
+	}
+	end := paddr + uint64(len(buf))
+	if end > d.MemBytes() || end < paddr {
+		return fmt.Errorf("access [%#x,%#x): %w", paddr, end, ErrBadAddress)
+	}
+	off := 0
+	for off < len(buf) {
+		pfn := mem.PFN((paddr + uint64(off)) >> mem.PageShift)
+		inPage := int((paddr + uint64(off)) & (mem.PageSize - 1))
+		n := mem.PageSize - inPage
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		frame, err := d.hv.machine.Frame(d.physmap[pfn])
+		if err != nil {
+			return fmt.Errorf("domain %d pfn %d: %w", d.id, pfn, err)
+		}
+		if write {
+			copy(frame[inPage:inPage+n], buf[off:off+n])
+			if d.dirtyLogging {
+				d.dirty.Set(int(pfn))
+			}
+			d.bytesWritten += uint64(n)
+			d.fireEvent(pfn, uint64(inPage), n, AccessWrite, buf[off:off+n])
+		} else {
+			copy(buf[off:off+n], frame[inPage:inPage+n])
+			d.fireEvent(pfn, uint64(inPage), n, AccessRead, nil)
+		}
+		off += n
+	}
+	return nil
+}
+
+// EnableDirtyLogging starts shadow-paging dirty tracking.
+func (d *Domain) EnableDirtyLogging() {
+	d.dirtyLogging = true
+	d.dirty.ClearAll()
+}
+
+// DisableDirtyLogging stops dirty tracking.
+func (d *Domain) DisableDirtyLogging() { d.dirtyLogging = false }
+
+// HarvestDirty copies the current dirty bitmap into dst and clears the
+// log, counting one dirty-read hypercall. dst must cover Pages() bits.
+func (d *Domain) HarvestDirty(dst *mem.Bitmap) error {
+	d.hv.calls.DirtyRead++
+	if err := dst.CopyFrom(d.dirty); err != nil {
+		return fmt.Errorf("harvest dirty for domain %d: %w", d.id, err)
+	}
+	d.dirty.ClearAll()
+	return nil
+}
+
+// DirtyCount reports the number of pages currently marked dirty without
+// clearing the log.
+func (d *Domain) DirtyCount() int { return d.dirty.Count() }
+
+// MarkAllDirty marks every page dirty; used when dirty logging starts so
+// the first checkpoint copies the whole VM (as live migration does).
+func (d *Domain) MarkAllDirty() {
+	for i := 0; i < d.dirty.Len(); i++ {
+		d.dirty.Set(i)
+	}
+}
+
+// WatchPage registers a memory-event watch on a guest page. Events for
+// matching accesses are appended to the domain's event ring.
+func (d *Domain) WatchPage(pfn mem.PFN, access AccessKind) error {
+	if uint64(pfn) >= uint64(len(d.physmap)) {
+		return fmt.Errorf("watch pfn %d: %w", pfn, ErrBadAddress)
+	}
+	d.hv.calls.EventConfig++
+	d.watches[pfn] |= access
+	return nil
+}
+
+// UnwatchPage removes all watches on a guest page.
+func (d *Domain) UnwatchPage(pfn mem.PFN) {
+	d.hv.calls.EventConfig++
+	delete(d.watches, pfn)
+}
+
+// WatchCount reports how many pages are currently watched.
+func (d *Domain) WatchCount() int { return len(d.watches) }
+
+// PollEvents drains and returns the pending memory events.
+func (d *Domain) PollEvents() []MemEvent {
+	evs := d.ring
+	d.ring = nil
+	return evs
+}
+
+func (d *Domain) fireEvent(pfn mem.PFN, off uint64, n int, access AccessKind, data []byte) {
+	if len(d.watches) == 0 {
+		return
+	}
+	kinds, ok := d.watches[pfn]
+	if !ok || kinds&access == 0 {
+		return
+	}
+	ev := MemEvent{PFN: pfn, Offset: off, Length: n, Access: access, VCPU: d.vcpu}
+	if data != nil {
+		ev.Data = append([]byte(nil), data...)
+	}
+	d.ring = append(d.ring, ev)
+}

@@ -1,0 +1,459 @@
+package hv
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newTestDomain(t *testing.T, pages int) (*Hypervisor, *Domain) {
+	t.Helper()
+	h := New(pages + 16)
+	d, err := h.CreateDomain("test", pages)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	return h, d
+}
+
+func TestCreateDestroyDomain(t *testing.T) {
+	h := New(8)
+	d, err := h.CreateDomain("vm1", 4)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	if d.Pages() != 4 || d.Name() != "vm1" || d.State() != StateRunning {
+		t.Fatalf("unexpected domain: pages=%d name=%q state=%v", d.Pages(), d.Name(), d.State())
+	}
+	got, err := h.Domain(d.ID())
+	if err != nil || got != d {
+		t.Fatalf("Domain lookup = %v, %v", got, err)
+	}
+	if err := h.DestroyDomain(d.ID()); err != nil {
+		t.Fatalf("DestroyDomain: %v", err)
+	}
+	if h.Machine().FreeFrames() != 8 {
+		t.Fatalf("frames not reclaimed: %d free, want 8", h.Machine().FreeFrames())
+	}
+	if _, err := h.Domain(d.ID()); !errors.Is(err, ErrNoDomain) {
+		t.Fatalf("lookup after destroy: %v, want ErrNoDomain", err)
+	}
+}
+
+func TestCreateDomainInsufficientMemory(t *testing.T) {
+	h := New(2)
+	if _, err := h.CreateDomain("big", 4); !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("CreateDomain beyond machine: %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestReadWritePhys(t *testing.T) {
+	_, d := newTestDomain(t, 4)
+	data := []byte("hello guest memory")
+	// Write spanning a page boundary.
+	addr := uint64(mem.PageSize - 5)
+	if err := d.WritePhys(addr, data); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	buf := make([]byte, len(data))
+	if err := d.ReadPhys(addr, buf); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("readback = %q, want %q", buf, data)
+	}
+}
+
+func TestAccessOutOfRange(t *testing.T) {
+	_, d := newTestDomain(t, 1)
+	if err := d.WritePhys(mem.PageSize-1, []byte{1, 2}); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("write past end: %v, want ErrBadAddress", err)
+	}
+	if err := d.ReadPhys(uint64(mem.PageSize), make([]byte, 1)); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("read past end: %v, want ErrBadAddress", err)
+	}
+}
+
+// Property: any write followed by a read of the same range returns the
+// written bytes, at any in-range address.
+func TestReadWriteRoundtripProperty(t *testing.T) {
+	_, d := newTestDomain(t, 8)
+	f := func(addr uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		a := uint64(addr) % (d.MemBytes() - uint64(len(data)))
+		if err := d.WritePhys(a, data); err != nil {
+			return false
+		}
+		buf := make([]byte, len(data))
+		if err := d.ReadPhys(a, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainLifecycle(t *testing.T) {
+	_, d := newTestDomain(t, 1)
+	if err := d.Pause(); err != nil {
+		t.Fatalf("Pause: %v", err)
+	}
+	if err := d.Pause(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double Pause: %v, want ErrBadState", err)
+	}
+	if err := d.Suspend(); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if d.State() != StateSuspended {
+		t.Fatalf("state = %v, want suspended", d.State())
+	}
+	if err := d.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := d.Resume(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Resume while running: %v, want ErrBadState", err)
+	}
+}
+
+func TestDirtyLogging(t *testing.T) {
+	_, d := newTestDomain(t, 8)
+	d.EnableDirtyLogging()
+	if err := d.WritePhys(0, []byte{1}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if err := d.WritePhys(3*mem.PageSize+10, []byte{2}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if d.DirtyCount() != 2 {
+		t.Fatalf("DirtyCount = %d, want 2", d.DirtyCount())
+	}
+	bm := mem.NewBitmap(d.Pages())
+	if err := d.HarvestDirty(bm); err != nil {
+		t.Fatalf("HarvestDirty: %v", err)
+	}
+	if !bm.Test(0) || !bm.Test(3) || bm.Count() != 2 {
+		t.Fatalf("harvested bitmap wrong: count=%d", bm.Count())
+	}
+	if d.DirtyCount() != 0 {
+		t.Fatalf("dirty log not cleared after harvest: %d", d.DirtyCount())
+	}
+	d.DisableDirtyLogging()
+	if err := d.WritePhys(0, []byte{1}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if d.DirtyCount() != 0 {
+		t.Fatal("write tracked while logging disabled")
+	}
+}
+
+func TestWriteSpanningPagesDirtiesBoth(t *testing.T) {
+	_, d := newTestDomain(t, 2)
+	d.EnableDirtyLogging()
+	if err := d.WritePhys(mem.PageSize-2, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if d.DirtyCount() != 2 {
+		t.Fatalf("DirtyCount = %d, want 2 (both spanned pages)", d.DirtyCount())
+	}
+}
+
+func TestMemoryEvents(t *testing.T) {
+	_, d := newTestDomain(t, 4)
+	if err := d.WatchPage(2, AccessWrite); err != nil {
+		t.Fatalf("WatchPage: %v", err)
+	}
+	d.SetVCPU(VCPU{RIP: 0x1234})
+	// Write to an unwatched page: no event.
+	if err := d.WritePhys(0, []byte{9}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	// Read of the watched page: watch is write-only, no event.
+	if err := d.ReadPhys(2*mem.PageSize, make([]byte, 1)); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	// Write to the watched page: one event with data and vCPU state.
+	if err := d.WritePhys(2*mem.PageSize+100, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	evs := d.PollEvents()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.PFN != 2 || ev.Offset != 100 || ev.Length != 2 || ev.Access != AccessWrite {
+		t.Fatalf("unexpected event: %+v", ev)
+	}
+	if !bytes.Equal(ev.Data, []byte{0xAA, 0xBB}) {
+		t.Fatalf("event data = %v", ev.Data)
+	}
+	if ev.VCPU.RIP != 0x1234 {
+		t.Fatalf("event vcpu RIP = %#x, want 0x1234", ev.VCPU.RIP)
+	}
+	if len(d.PollEvents()) != 0 {
+		t.Fatal("events not drained")
+	}
+	d.UnwatchPage(2)
+	if err := d.WritePhys(2*mem.PageSize, []byte{1}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if len(d.PollEvents()) != 0 {
+		t.Fatal("event fired after unwatch")
+	}
+}
+
+func TestForeignMapping(t *testing.T) {
+	h, d := newTestDomain(t, 4)
+	if err := d.WritePhys(mem.PageSize, []byte("page one")); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	h.ResetCalls()
+	fm, err := h.MapForeign(d, []mem.PFN{1, 3})
+	if err != nil {
+		t.Fatalf("MapForeign: %v", err)
+	}
+	if fm.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", fm.Len())
+	}
+	p, err := fm.Page(1)
+	if err != nil {
+		t.Fatalf("Page(1): %v", err)
+	}
+	if !bytes.Equal(p[:8], []byte("page one")) {
+		t.Fatalf("mapped page contents = %q", p[:8])
+	}
+	// Writes through the mapping alias guest memory.
+	copy(p[:4], "XXXX")
+	buf := make([]byte, 4)
+	if err := d.ReadPhys(mem.PageSize, buf); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if string(buf) != "XXXX" {
+		t.Fatalf("write through mapping not visible: %q", buf)
+	}
+	if _, err := fm.Page(2); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("Page(unmapped): %v, want ErrBadAddress", err)
+	}
+	fm.Unmap()
+	calls := h.Calls()
+	if calls.MapPage != 2 || calls.UnmapPage != 2 {
+		t.Fatalf("hypercalls = %+v, want 2 map + 2 unmap", calls)
+	}
+}
+
+func TestGlobalMapping(t *testing.T) {
+	h, d := newTestDomain(t, 4)
+	h.ResetCalls()
+	gm, err := h.MapAll(d)
+	if err != nil {
+		t.Fatalf("MapAll: %v", err)
+	}
+	if gm.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", gm.Len())
+	}
+	if h.Calls().MapPage != 4 {
+		t.Fatalf("MapPage calls = %d, want 4", h.Calls().MapPage)
+	}
+	if err := d.WritePhys(2*mem.PageSize, []byte("hi")); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	p, err := gm.Page(2)
+	if err != nil {
+		t.Fatalf("Page: %v", err)
+	}
+	if string(p[:2]) != "hi" {
+		t.Fatalf("premapped page = %q", p[:2])
+	}
+	if _, err := gm.Page(9); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("Page(9): %v, want ErrBadAddress", err)
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	_, d := newTestDomain(t, 4)
+	if err := d.WritePhys(123, []byte("before")); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	d.SetVCPU(VCPU{RIP: 7, RSP: 8})
+	snap, err := d.DumpMemory()
+	if err != nil {
+		t.Fatalf("DumpMemory: %v", err)
+	}
+	// Mutate, then restore.
+	if err := d.WritePhys(123, []byte("after!")); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	d.SetVCPU(VCPU{RIP: 99})
+	if err := d.RestoreMemory(snap); err != nil {
+		t.Fatalf("RestoreMemory: %v", err)
+	}
+	buf := make([]byte, 6)
+	if err := d.ReadPhys(123, buf); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if string(buf) != "before" {
+		t.Fatalf("restored memory = %q, want %q", buf, "before")
+	}
+	if d.VCPU().RIP != 7 {
+		t.Fatalf("restored RIP = %d, want 7", d.VCPU().RIP)
+	}
+}
+
+func TestSnapshotSizeMismatch(t *testing.T) {
+	h, d := newTestDomain(t, 2)
+	other, err := h.CreateDomain("other", 3)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	snap, err := other.DumpMemory()
+	if err != nil {
+		t.Fatalf("DumpMemory: %v", err)
+	}
+	if err := d.RestoreMemory(snap); err == nil {
+		t.Fatal("RestoreMemory with size mismatch succeeded")
+	}
+}
+
+func TestSnapshotCloneIsDeep(t *testing.T) {
+	_, d := newTestDomain(t, 1)
+	if err := d.WritePhys(0, []byte{1}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	s, err := d.DumpMemory()
+	if err != nil {
+		t.Fatalf("DumpMemory: %v", err)
+	}
+	c := s.Clone()
+	c.Mem[0] = 42
+	if s.Mem[0] == 42 {
+		t.Fatal("Clone shares memory with original")
+	}
+}
+
+func TestPhysmapSnapshotCountsTranslations(t *testing.T) {
+	h, d := newTestDomain(t, 5)
+	h.ResetCalls()
+	pm := d.PhysmapSnapshot()
+	if len(pm) != 5 {
+		t.Fatalf("physmap len = %d, want 5", len(pm))
+	}
+	if h.Calls().Translate != 5 {
+		t.Fatalf("Translate calls = %d, want 5", h.Calls().Translate)
+	}
+}
+
+func TestEventDataIsIsolated(t *testing.T) {
+	// Mutating the data slice in a delivered event must not alias guest
+	// memory.
+	_, d := newTestDomain(t, 2)
+	if err := d.WatchPage(0, AccessWrite); err != nil {
+		t.Fatalf("WatchPage: %v", err)
+	}
+	if err := d.WritePhys(0, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	ev := d.PollEvents()[0]
+	ev.Data[0] = 0xFF
+	var b [1]byte
+	if err := d.ReadPhys(0, b[:]); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if b[0] != 1 {
+		t.Fatal("event data aliases guest memory")
+	}
+}
+
+func TestReadWatchKinds(t *testing.T) {
+	_, d := newTestDomain(t, 2)
+	if err := d.WatchPage(1, AccessRead); err != nil {
+		t.Fatalf("WatchPage: %v", err)
+	}
+	if err := d.WritePhys(mem.PageSize, []byte{1}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if evs := d.PollEvents(); len(evs) != 0 {
+		t.Fatalf("write fired a read watch: %+v", evs)
+	}
+	if err := d.ReadPhys(mem.PageSize, make([]byte, 4)); err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	evs := d.PollEvents()
+	if len(evs) != 1 || evs[0].Access != AccessRead || evs[0].Data != nil {
+		t.Fatalf("read watch events = %+v", evs)
+	}
+}
+
+func TestCombinedWatchKinds(t *testing.T) {
+	_, d := newTestDomain(t, 2)
+	if err := d.WatchPage(0, AccessRead|AccessWrite); err != nil {
+		t.Fatalf("WatchPage: %v", err)
+	}
+	_ = d.WritePhys(0, []byte{1})
+	_ = d.ReadPhys(0, make([]byte, 1))
+	if evs := d.PollEvents(); len(evs) != 2 {
+		t.Fatalf("combined watch fired %d events, want 2", len(evs))
+	}
+}
+
+func TestWatchOutOfRange(t *testing.T) {
+	_, d := newTestDomain(t, 2)
+	if err := d.WatchPage(99, AccessWrite); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("WatchPage(99): %v, want ErrBadAddress", err)
+	}
+}
+
+func TestAccessDestroyedDomain(t *testing.T) {
+	h := New(8)
+	d, _ := h.CreateDomain("temp", 2)
+	id := d.ID()
+	if err := h.DestroyDomain(id); err != nil {
+		t.Fatalf("DestroyDomain: %v", err)
+	}
+	if err := d.WritePhys(0, []byte{1}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("write to destroyed domain: %v, want ErrBadState", err)
+	}
+	if _, err := d.DumpMemory(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("dump of destroyed domain: %v, want ErrBadState", err)
+	}
+	if err := h.DestroyDomain(id); !errors.Is(err, ErrNoDomain) {
+		t.Fatalf("double destroy: %v, want ErrNoDomain", err)
+	}
+}
+
+// Property: snapshot/restore is the identity on domain memory for any
+// write sequence applied in between.
+func TestSnapshotRestoreIdentityProperty(t *testing.T) {
+	_, d := newTestDomain(t, 8)
+	f := func(writes [][]byte) bool {
+		before, err := d.DumpMemory()
+		if err != nil {
+			return false
+		}
+		for i, w := range writes {
+			if len(w) == 0 {
+				continue
+			}
+			addr := uint64(i*977) % (d.MemBytes() - uint64(len(w)))
+			if err := d.WritePhys(addr, w); err != nil {
+				return false
+			}
+		}
+		if err := d.RestoreMemory(before); err != nil {
+			return false
+		}
+		after, err := d.DumpMemory()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(before.Mem, after.Mem)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

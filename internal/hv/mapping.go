@@ -1,0 +1,92 @@
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ForeignMapping maps selected pages of a domain into the caller's
+// address space, the equivalent of xenforeignmemory_map. Each page
+// mapped and unmapped costs a hypercall; Remus pays this every epoch
+// for every dirty page, which CRIMES' Pre-map optimization avoids.
+type ForeignMapping struct {
+	dom   *Domain
+	pages map[mem.PFN][]byte
+}
+
+// MapForeign maps the given guest pages of a domain. Pages remain valid
+// until Unmap is called.
+func (h *Hypervisor) MapForeign(d *Domain, pfns []mem.PFN) (*ForeignMapping, error) {
+	fm := &ForeignMapping{dom: d, pages: make(map[mem.PFN][]byte, len(pfns))}
+	for _, pfn := range pfns {
+		if uint64(pfn) >= uint64(len(d.physmap)) {
+			return nil, fmt.Errorf("map foreign pfn %d: %w", pfn, ErrBadAddress)
+		}
+		frame, err := h.machine.Frame(d.physmap[pfn])
+		if err != nil {
+			return nil, fmt.Errorf("map foreign pfn %d: %w", pfn, err)
+		}
+		h.calls.MapPage++
+		fm.pages[pfn] = frame
+	}
+	return fm, nil
+}
+
+// Page returns the mapped view of a guest page.
+func (fm *ForeignMapping) Page(pfn mem.PFN) ([]byte, error) {
+	p, ok := fm.pages[pfn]
+	if !ok {
+		return nil, fmt.Errorf("foreign mapping: pfn %d not mapped: %w", pfn, ErrBadAddress)
+	}
+	return p, nil
+}
+
+// Len reports the number of mapped pages.
+func (fm *ForeignMapping) Len() int { return len(fm.pages) }
+
+// Unmap releases the mapping, one hypercall per page.
+func (fm *ForeignMapping) Unmap() {
+	fm.dom.hv.calls.UnmapPage += len(fm.pages)
+	fm.pages = nil
+}
+
+// GlobalMapping is CRIMES Optimization 2: the full PFN-to-MFN table is
+// resolved once at startup into a flat array (constant-time lookups,
+// no per-epoch map/unmap hypercalls).
+type GlobalMapping struct {
+	dom    *Domain
+	frames [][]byte
+}
+
+// MapAll builds a global mapping of every page of the domain. The
+// per-page hypercall cost is paid once, here.
+func (h *Hypervisor) MapAll(d *Domain) (*GlobalMapping, error) {
+	gm := &GlobalMapping{dom: d, frames: make([][]byte, len(d.physmap))}
+	for pfn, mfn := range d.physmap {
+		frame, err := h.machine.Frame(mfn)
+		if err != nil {
+			return nil, fmt.Errorf("map all pfn %d: %w", pfn, err)
+		}
+		h.calls.MapPage++
+		gm.frames[pfn] = frame
+	}
+	return gm, nil
+}
+
+// Page returns the premapped view of a guest page in O(1).
+func (gm *GlobalMapping) Page(pfn mem.PFN) ([]byte, error) {
+	if uint64(pfn) >= uint64(len(gm.frames)) {
+		return nil, fmt.Errorf("global mapping: pfn %d: %w", pfn, ErrBadAddress)
+	}
+	return gm.frames[pfn], nil
+}
+
+// Len reports the number of premapped pages.
+func (gm *GlobalMapping) Len() int { return len(gm.frames) }
+
+// Unmap releases the global mapping.
+func (gm *GlobalMapping) Unmap() {
+	gm.dom.hv.calls.UnmapPage += len(gm.frames)
+	gm.frames = nil
+}

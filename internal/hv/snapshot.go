@@ -1,0 +1,70 @@
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Snapshot is a full copy of a domain's memory and vCPU state at a
+// point in time, used for memory dumps and for restoring a replay VM.
+type Snapshot struct {
+	Name  string
+	Pages int
+	VCPU  VCPU
+	Mem   []byte // Pages * mem.PageSize bytes of guest-physical memory
+}
+
+// DumpMemory captures a full snapshot of the domain.
+func (d *Domain) DumpMemory() (*Snapshot, error) {
+	if d.state == StateDestroyed {
+		return nil, fmt.Errorf("dump domain %d: %w", d.id, ErrBadState)
+	}
+	s := &Snapshot{
+		Name:  d.name,
+		Pages: len(d.physmap),
+		VCPU:  d.vcpu,
+		Mem:   make([]byte, d.MemBytes()),
+	}
+	for pfn, mfn := range d.physmap {
+		frame, err := d.hv.machine.Frame(mfn)
+		if err != nil {
+			return nil, fmt.Errorf("dump domain %d pfn %d: %w", d.id, pfn, err)
+		}
+		copy(s.Mem[pfn*mem.PageSize:], frame)
+	}
+	return s, nil
+}
+
+// RestoreMemory loads a snapshot into the domain. The snapshot must
+// match the domain's size.
+func (d *Domain) RestoreMemory(s *Snapshot) error {
+	if s.Pages != len(d.physmap) {
+		return fmt.Errorf("restore domain %d: snapshot has %d pages, domain has %d",
+			d.id, s.Pages, len(d.physmap))
+	}
+	for pfn, mfn := range d.physmap {
+		frame, err := d.hv.machine.Frame(mfn)
+		if err != nil {
+			return fmt.Errorf("restore domain %d pfn %d: %w", d.id, pfn, err)
+		}
+		copy(frame, s.Mem[pfn*mem.PageSize:(pfn+1)*mem.PageSize])
+	}
+	d.vcpu = s.VCPU
+	return nil
+}
+
+// ReadPage reads one guest page of a snapshot.
+func (s *Snapshot) ReadPage(pfn mem.PFN) ([]byte, error) {
+	if uint64(pfn) >= uint64(s.Pages) {
+		return nil, fmt.Errorf("snapshot page %d of %d: %w", pfn, s.Pages, ErrBadAddress)
+	}
+	return s.Mem[uint64(pfn)*mem.PageSize : (uint64(pfn)+1)*mem.PageSize], nil
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := *s
+	c.Mem = append([]byte(nil), s.Mem...)
+	return &c
+}

@@ -1,0 +1,226 @@
+// Package mem provides the machine-memory substrate for the simulated
+// hypervisor: fixed-size page frames, a machine frame pool, and dirty
+// bitmaps with both bit-granularity and word-granularity scanning (the
+// latter is CRIMES Optimization 3, "Dirty Page Scan").
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// PageSize is the size of a machine page frame in bytes.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+)
+
+// PFN is a guest-physical Page Frame Number.
+type PFN uint64
+
+// MFN is a Machine Frame Number, indexing frames of host machine memory.
+type MFN uint64
+
+// InvalidMFN marks an unmapped PFN in a physmap.
+const InvalidMFN = MFN(^uint64(0))
+
+var (
+	// ErrOutOfMemory is returned when the machine pool has no free frames.
+	ErrOutOfMemory = errors.New("mem: out of machine memory")
+	// ErrBadFrame is returned for out-of-range or unallocated frames.
+	ErrBadFrame = errors.New("mem: bad machine frame")
+)
+
+// Machine models host physical memory as a pool of page frames.
+// It is not safe for concurrent use; the hypervisor serializes access.
+type Machine struct {
+	frames    [][]byte
+	allocated []bool
+	free      []MFN
+}
+
+// NewMachine creates a machine with the given number of page frames.
+func NewMachine(frames int) *Machine {
+	m := &Machine{
+		frames:    make([][]byte, frames),
+		allocated: make([]bool, frames),
+		free:      make([]MFN, 0, frames),
+	}
+	for i := frames - 1; i >= 0; i-- {
+		m.free = append(m.free, MFN(i))
+	}
+	return m
+}
+
+// TotalFrames reports the machine's frame count.
+func (m *Machine) TotalFrames() int { return len(m.frames) }
+
+// FreeFrames reports how many frames remain unallocated.
+func (m *Machine) FreeFrames() int { return len(m.free) }
+
+// Alloc allocates a single zeroed machine frame.
+func (m *Machine) Alloc() (MFN, error) {
+	if len(m.free) == 0 {
+		return InvalidMFN, ErrOutOfMemory
+	}
+	mfn := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.allocated[mfn] = true
+	if m.frames[mfn] == nil {
+		m.frames[mfn] = make([]byte, PageSize)
+	} else {
+		clearPage(m.frames[mfn])
+	}
+	return mfn, nil
+}
+
+// AllocN allocates n machine frames.
+func (m *Machine) AllocN(n int) ([]MFN, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mem: alloc %d frames: negative count", n)
+	}
+	if len(m.free) < n {
+		return nil, fmt.Errorf("mem: alloc %d frames (%d free): %w", n, len(m.free), ErrOutOfMemory)
+	}
+	out := make([]MFN, n)
+	for i := range out {
+		mfn, err := m.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mfn
+	}
+	return out, nil
+}
+
+// Free releases a machine frame back to the pool.
+func (m *Machine) Free(mfn MFN) error {
+	if err := m.check(mfn); err != nil {
+		return err
+	}
+	m.allocated[mfn] = false
+	m.free = append(m.free, mfn)
+	return nil
+}
+
+// Frame returns the backing page for an allocated machine frame. The
+// returned slice aliases machine memory: writes through it are writes to
+// the machine frame. This is the moral equivalent of Xen's
+// xenforeignmemory_map.
+func (m *Machine) Frame(mfn MFN) ([]byte, error) {
+	if err := m.check(mfn); err != nil {
+		return nil, err
+	}
+	return m.frames[mfn], nil
+}
+
+func (m *Machine) check(mfn MFN) error {
+	if uint64(mfn) >= uint64(len(m.frames)) || !m.allocated[mfn] {
+		return fmt.Errorf("mem: frame %d: %w", mfn, ErrBadFrame)
+	}
+	return nil
+}
+
+func clearPage(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// Bitmap is a dirty-page bitmap, one bit per PFN.
+type Bitmap struct {
+	words []uint64
+	nbits int
+}
+
+// NewBitmap creates a bitmap covering nbits pages.
+func NewBitmap(nbits int) *Bitmap {
+	return &Bitmap{
+		words: make([]uint64, (nbits+63)/64),
+		nbits: nbits,
+	}
+}
+
+// Len reports the number of bits the bitmap covers.
+func (b *Bitmap) Len() int { return b.nbits }
+
+// Set marks bit i.
+func (b *Bitmap) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear unmarks bit i.
+func (b *Bitmap) Clear(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitmap) Test(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// ClearAll unmarks every bit.
+func (b *Bitmap) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count reports the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += popcount(w)
+	}
+	return n
+}
+
+// ScanBits collects set bits by testing every bit individually. This is
+// Remus's original linear scan: cost grows with total VM size regardless
+// of how many pages are dirty.
+func (b *Bitmap) ScanBits(dst []PFN) []PFN {
+	for i := 0; i < b.nbits; i++ {
+		if b.Test(i) {
+			dst = append(dst, PFN(i))
+		}
+	}
+	return dst
+}
+
+// ScanWords collects set bits by first testing machine words and only
+// descending into non-zero words. This is CRIMES Optimization 3: most
+// memory is clean, so most words are zero and are skipped in one compare.
+func (b *Bitmap) ScanWords(dst []PFN) []PFN {
+	for wi, w := range b.words {
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		for w != 0 {
+			bit := trailingZeros(w)
+			i := base + bit
+			if i >= b.nbits {
+				break
+			}
+			dst = append(dst, PFN(i))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// CopyFrom replaces this bitmap's contents with src's. The bitmaps must
+// be the same length.
+func (b *Bitmap) CopyFrom(src *Bitmap) error {
+	if b.nbits != src.nbits {
+		return fmt.Errorf("mem: copy bitmap: length mismatch %d != %d", b.nbits, src.nbits)
+	}
+	copy(b.words, src.words)
+	return nil
+}
+
+func popcount(w uint64) int { return bits.OnesCount64(w) }
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }

@@ -1,0 +1,238 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineAllocFree(t *testing.T) {
+	m := NewMachine(4)
+	if got := m.TotalFrames(); got != 4 {
+		t.Fatalf("TotalFrames = %d, want 4", got)
+	}
+	mfns, err := m.AllocN(4)
+	if err != nil {
+		t.Fatalf("AllocN: %v", err)
+	}
+	if m.FreeFrames() != 0 {
+		t.Fatalf("FreeFrames = %d, want 0", m.FreeFrames())
+	}
+	if _, err := m.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Alloc on full machine: err = %v, want ErrOutOfMemory", err)
+	}
+	seen := make(map[MFN]bool)
+	for _, mfn := range mfns {
+		if seen[mfn] {
+			t.Fatalf("duplicate MFN %d", mfn)
+		}
+		seen[mfn] = true
+	}
+	if err := m.Free(mfns[0]); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if m.FreeFrames() != 1 {
+		t.Fatalf("FreeFrames after free = %d, want 1", m.FreeFrames())
+	}
+}
+
+func TestMachineAllocNInsufficient(t *testing.T) {
+	m := NewMachine(2)
+	if _, err := m.AllocN(3); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("AllocN(3) on 2-frame machine: err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := m.AllocN(-1); err == nil {
+		t.Fatal("AllocN(-1) succeeded, want error")
+	}
+}
+
+func TestFrameWriteVisibility(t *testing.T) {
+	m := NewMachine(2)
+	mfn, err := m.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	p1, err := m.Frame(mfn)
+	if err != nil {
+		t.Fatalf("Frame: %v", err)
+	}
+	p1[0] = 0xAB
+	p2, err := m.Frame(mfn)
+	if err != nil {
+		t.Fatalf("Frame: %v", err)
+	}
+	if p2[0] != 0xAB {
+		t.Fatalf("frame write not visible through second mapping: got %#x", p2[0])
+	}
+	if len(p1) != PageSize {
+		t.Fatalf("frame size = %d, want %d", len(p1), PageSize)
+	}
+}
+
+func TestFrameReuseIsZeroed(t *testing.T) {
+	m := NewMachine(1)
+	mfn, err := m.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	p, _ := m.Frame(mfn)
+	p[100] = 0xFF
+	if err := m.Free(mfn); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	mfn2, err := m.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc after free: %v", err)
+	}
+	p2, _ := m.Frame(mfn2)
+	if p2[100] != 0 {
+		t.Fatalf("reused frame not zeroed: byte 100 = %#x", p2[100])
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	m := NewMachine(1)
+	if _, err := m.Frame(0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("Frame(unallocated): err = %v, want ErrBadFrame", err)
+	}
+	if _, err := m.Frame(99); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("Frame(out of range): err = %v, want ErrBadFrame", err)
+	}
+	if err := m.Free(0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("Free(unallocated): err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatalf("Count after ClearAll = %d, want 0", b.Count())
+	}
+}
+
+func TestBitmapScanEquivalenceFixed(t *testing.T) {
+	b := NewBitmap(300)
+	want := []PFN{0, 1, 63, 64, 65, 128, 255, 299}
+	for _, p := range want {
+		b.Set(int(p))
+	}
+	bits := b.ScanBits(nil)
+	words := b.ScanWords(nil)
+	if !pfnsEqual(bits, want) {
+		t.Fatalf("ScanBits = %v, want %v", bits, want)
+	}
+	if !pfnsEqual(words, want) {
+		t.Fatalf("ScanWords = %v, want %v", words, want)
+	}
+}
+
+// Property: the optimized word scan returns exactly the same PFNs, in the
+// same order, as the bit-by-bit scan, for any bitmap.
+func TestBitmapScanEquivalenceProperty(t *testing.T) {
+	f := func(setBits []uint16, size uint16) bool {
+		n := int(size)%2048 + 1
+		b := NewBitmap(n)
+		for _, s := range setBits {
+			b.Set(int(s) % n)
+		}
+		return pfnsEqual(b.ScanBits(nil), b.ScanWords(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count always equals the number of PFNs either scan returns.
+func TestBitmapCountMatchesScanProperty(t *testing.T) {
+	f := func(setBits []uint16) bool {
+		b := NewBitmap(4096)
+		for _, s := range setBits {
+			b.Set(int(s) % 4096)
+		}
+		return b.Count() == len(b.ScanWords(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapCopyFrom(t *testing.T) {
+	a := NewBitmap(100)
+	a.Set(7)
+	a.Set(99)
+	b := NewBitmap(100)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if !b.Test(7) || !b.Test(99) || b.Count() != 2 {
+		t.Fatal("CopyFrom did not replicate contents")
+	}
+	c := NewBitmap(50)
+	if err := c.CopyFrom(a); err == nil {
+		t.Fatal("CopyFrom with mismatched lengths succeeded, want error")
+	}
+}
+
+func TestBitmapWordScanLastPartialWord(t *testing.T) {
+	// A bit set in the final, partial word must be found exactly once.
+	b := NewBitmap(70)
+	b.Set(69)
+	got := b.ScanWords(nil)
+	if len(got) != 1 || got[0] != 69 {
+		t.Fatalf("ScanWords = %v, want [69]", got)
+	}
+}
+
+func pfnsEqual(a, b []PFN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkBitmapScanBits(b *testing.B) {
+	benchScan(b, func(bm *Bitmap, dst []PFN) []PFN { return bm.ScanBits(dst) })
+}
+
+func BenchmarkBitmapScanWords(b *testing.B) {
+	benchScan(b, func(bm *Bitmap, dst []PFN) []PFN { return bm.ScanWords(dst) })
+}
+
+func benchScan(b *testing.B, scan func(*Bitmap, []PFN) []PFN) {
+	// 4 GiB VM worth of pages with a realistic ~1% dirty rate.
+	const pages = 4 << 30 / PageSize
+	bm := NewBitmap(pages)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < pages/100; i++ {
+		bm.Set(rng.Intn(pages))
+	}
+	dst := make([]PFN, 0, pages/64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = scan(bm, dst[:0])
+	}
+	_ = dst
+}

@@ -1,0 +1,170 @@
+// Package netbuf implements CRIMES' speculative-execution output
+// buffering (§3.1): the guest's external outputs — outgoing network
+// packets and disk writes — are held in the hypervisor during an epoch
+// and only released after the epoch's security audit passes. This is
+// what gives CRIMES a zero window of vulnerability for external
+// observers (Synchronous Safety). Best Effort mode disables buffering,
+// trading a bounded millisecond-scale exposure for performance (§5.4).
+package netbuf
+
+import (
+	"sync"
+
+	"repro/internal/guestos"
+)
+
+// Mode selects the safety level.
+type Mode int
+
+// Safety modes.
+const (
+	// Synchronous buffers all outputs until the audit commits the epoch.
+	Synchronous Mode = iota + 1
+	// BestEffort releases outputs immediately; attacks are still
+	// detected at epoch boundaries but may leak output first.
+	BestEffort
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case Synchronous:
+		return "synchronous-safety"
+	case BestEffort:
+		return "best-effort-safety"
+	default:
+		return "unknown"
+	}
+}
+
+// Deliverer receives outputs once they are committed (released to the
+// external world).
+type Deliverer interface {
+	DeliverPacket(guestos.Packet)
+	DeliverDisk(guestos.DiskWrite)
+}
+
+// CollectDeliverer accumulates delivered outputs; useful as a default
+// and in tests.
+type CollectDeliverer struct {
+	mu      sync.Mutex
+	Packets []guestos.Packet
+	Disks   []guestos.DiskWrite
+}
+
+var _ Deliverer = (*CollectDeliverer)(nil)
+
+// DeliverPacket records a released packet.
+func (c *CollectDeliverer) DeliverPacket(p guestos.Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Packets = append(c.Packets, p)
+}
+
+// DeliverDisk records a released disk write.
+func (c *CollectDeliverer) DeliverDisk(d guestos.DiskWrite) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Disks = append(c.Disks, d)
+}
+
+// Snapshot returns copies of the delivered outputs.
+func (c *CollectDeliverer) Snapshot() ([]guestos.Packet, []guestos.DiskWrite) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pk := make([]guestos.Packet, len(c.Packets))
+	copy(pk, c.Packets)
+	dk := make([]guestos.DiskWrite, len(c.Disks))
+	copy(dk, c.Disks)
+	return pk, dk
+}
+
+// Buffer is the hypervisor-side output buffer. It implements
+// guestos.OutputSink so it can be installed directly as the guest's
+// output path.
+type Buffer struct {
+	mode    Mode
+	out     Deliverer
+	packets []guestos.Packet
+	disks   []guestos.DiskWrite
+
+	released  int
+	discarded int
+}
+
+var _ guestos.OutputSink = (*Buffer)(nil)
+
+// New creates a buffer in the given mode delivering to out.
+func New(mode Mode, out Deliverer) *Buffer {
+	return &Buffer{mode: mode, out: out}
+}
+
+// Mode returns the buffer's safety mode.
+func (b *Buffer) Mode() Mode { return b.mode }
+
+// SendPacket implements guestos.OutputSink.
+func (b *Buffer) SendPacket(p guestos.Packet) {
+	if b.mode == BestEffort {
+		b.out.DeliverPacket(p)
+		b.released++
+		return
+	}
+	b.packets = append(b.packets, p)
+}
+
+// WriteDisk implements guestos.OutputSink.
+func (b *Buffer) WriteDisk(d guestos.DiskWrite) {
+	if b.mode == BestEffort {
+		b.out.DeliverDisk(d)
+		b.released++
+		return
+	}
+	b.disks = append(b.disks, d)
+}
+
+// Pending reports the number of outputs currently held.
+func (b *Buffer) Pending() int { return len(b.packets) + len(b.disks) }
+
+// PendingPackets returns the buffered outgoing packets for inspection
+// by output-scanning detector modules (§3.2: "a security module could
+// focus on the outputs of the VM"). The returned slice must not be
+// mutated.
+func (b *Buffer) PendingPackets() []guestos.Packet { return b.packets }
+
+// PendingDisks returns the buffered disk writes for inspection.
+func (b *Buffer) PendingDisks() []guestos.DiskWrite { return b.disks }
+
+// Released reports the number of outputs committed so far.
+func (b *Buffer) Released() int { return b.released }
+
+// Discarded reports the number of outputs dropped by failed audits.
+func (b *Buffer) Discarded() int { return b.discarded }
+
+// Release commits the epoch: all buffered outputs are delivered in
+// their original emission order.
+func (b *Buffer) Release() {
+	// Packets and disk writes carry guest op sequence numbers; merge
+	// the two queues to preserve global emission order.
+	pi, di := 0, 0
+	for pi < len(b.packets) || di < len(b.disks) {
+		switch {
+		case di >= len(b.disks), pi < len(b.packets) && b.packets[pi].Seq < b.disks[di].Seq:
+			b.out.DeliverPacket(b.packets[pi])
+			pi++
+		default:
+			b.out.DeliverDisk(b.disks[di])
+			di++
+		}
+		b.released++
+	}
+	b.packets = b.packets[:0]
+	b.disks = b.disks[:0]
+}
+
+// Discard drops the epoch's buffered outputs — the failed-audit path:
+// nothing the attacker caused ever leaves the system.
+func (b *Buffer) Discard() {
+	b.discarded += len(b.packets) + len(b.disks)
+	b.packets = b.packets[:0]
+	b.disks = b.disks[:0]
+}

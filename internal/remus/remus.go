@@ -1,0 +1,173 @@
+// Package remus implements the baseline Remus-style replication channel
+// that CRIMES' Optimization 1 replaces: dirty pages are serialized
+// writev-style, encrypted (Remus pipes checkpoints through ssh even for
+// local backups), and streamed over a connection to a Restore process
+// that writes them into the backup VM. The channel acknowledges each
+// checkpoint batch, as Remus releases its network buffer only after the
+// backup acknowledges a complete checkpoint.
+package remus
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/hv"
+	"repro/internal/mem"
+)
+
+// ErrClosed is returned when sending on a closed conduit.
+var ErrClosed = errors.New("remus: conduit closed")
+
+const ackByte = 0xA5
+
+// Conduit is a replication channel from a primary VM to a backup
+// domain, with a Restore goroutine on the receiving end.
+type Conduit struct {
+	hv     *hv.Hypervisor
+	backup *hv.Domain
+
+	conn    net.Conn // primary side
+	ackConn net.Conn
+	enc     cipher.Stream
+	sendBuf []byte
+
+	mu      sync.Mutex
+	closed  bool
+	done    chan struct{}
+	restErr error
+}
+
+// NewConduit starts a restore process for the backup domain and returns
+// the primary-side channel. key must be 16, 24 or 32 bytes (AES).
+func NewConduit(h *hv.Hypervisor, backup *hv.Domain, key []byte) (*Conduit, error) {
+	encBlock, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("remus: cipher: %w", err)
+	}
+	decBlock, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("remus: cipher: %w", err)
+	}
+	iv := make([]byte, aes.BlockSize) // fixed IV: channel is simulation-internal
+	primarySide, restoreSide := net.Pipe()
+	ackPrimary, ackRestore := net.Pipe()
+
+	c := &Conduit{
+		hv:      h,
+		backup:  backup,
+		conn:    primarySide,
+		ackConn: ackPrimary,
+		enc:     cipher.NewCTR(encBlock, iv),
+		done:    make(chan struct{}),
+	}
+	go c.restore(restoreSide, ackRestore, cipher.NewCTR(decBlock, iv))
+	return c, nil
+}
+
+// SendCheckpoint serializes and transmits the given dirty pages of the
+// primary domain and blocks until the restore process acknowledges the
+// complete checkpoint. Page contents are read through the provided
+// mapping accessor.
+func (c *Conduit) SendCheckpoint(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	// writev-style: gather the whole batch into one buffer, encrypt,
+	// and write it in a single call.
+	need := 4 + len(pfns)*(8+mem.PageSize)
+	if cap(c.sendBuf) < need {
+		c.sendBuf = make([]byte, need)
+	}
+	buf := c.sendBuf[:need]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(pfns)))
+	off := 4
+	for _, pfn := range pfns {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(pfn))
+		off += 8
+		p, err := page(pfn)
+		if err != nil {
+			return fmt.Errorf("remus: read pfn %d: %w", pfn, err)
+		}
+		copy(buf[off:], p)
+		off += mem.PageSize
+	}
+	c.enc.XORKeyStream(buf, buf)
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("remus: send checkpoint: %w", err)
+	}
+	// Wait for the backup's acknowledgement before committing.
+	var ack [1]byte
+	if _, err := io.ReadFull(c.ackConn, ack[:]); err != nil {
+		return fmt.Errorf("remus: await ack: %w", err)
+	}
+	if ack[0] != ackByte {
+		return fmt.Errorf("remus: bad ack %#x", ack[0])
+	}
+	return nil
+}
+
+// restore is the backup-side process: it decrypts incoming batches and
+// writes the pages into the backup domain, acknowledging each batch.
+func (c *Conduit) restore(conn, ackConn net.Conn, dec cipher.Stream) {
+	defer close(c.done)
+	hdr := make([]byte, 4)
+	rec := make([]byte, 8+mem.PageSize)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			c.restErr = err
+			return
+		}
+		dec.XORKeyStream(hdr, hdr)
+		count := binary.LittleEndian.Uint32(hdr)
+		fail := error(nil)
+		for i := uint32(0); i < count; i++ {
+			if _, err := io.ReadFull(conn, rec); err != nil {
+				c.restErr = err
+				return
+			}
+			dec.XORKeyStream(rec, rec)
+			if fail != nil {
+				continue // drain the batch
+			}
+			pfn := mem.PFN(binary.LittleEndian.Uint64(rec))
+			pa := uint64(pfn) * mem.PageSize
+			if err := c.backup.WritePhys(pa, rec[8:]); err != nil {
+				fail = err
+			}
+		}
+		if fail != nil {
+			c.restErr = fail
+			return
+		}
+		if _, err := ackConn.Write([]byte{ackByte}); err != nil {
+			c.restErr = err
+			return
+		}
+	}
+}
+
+// Close shuts down the conduit and waits for the restore process.
+func (c *Conduit) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	_ = c.ackConn.Close()
+	<-c.done
+	if c.restErr != nil && !errors.Is(c.restErr, io.EOF) && !errors.Is(c.restErr, io.ErrClosedPipe) {
+		return fmt.Errorf("remus: restore: %w", c.restErr)
+	}
+	return nil
+}

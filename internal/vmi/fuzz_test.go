@@ -1,0 +1,62 @@
+package vmi
+
+import (
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+)
+
+// FuzzParseSystemMap ensures the System.map parser never panics and
+// either errors or returns symbols for arbitrary input.
+func FuzzParseSystemMap(f *testing.F) {
+	f.Add("ffff880000001000 T init_task\n")
+	f.Add("")
+	f.Add("zzzz T broken\n")
+	f.Add("0 T a\n1 D b\n2 B c\n")
+	f.Add("ffffffffffffffff T max\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		syms, err := ParseSystemMap(text)
+		if err == nil && len(syms) == 0 {
+			t.Fatal("nil error with no symbols")
+		}
+	})
+}
+
+// FuzzProcessListOnCorruptMemory smashes random guest memory and checks
+// that introspection fails cleanly (error, not panic or hang) or
+// returns a well-formed result.
+func FuzzProcessListOnCorruptMemory(f *testing.F) {
+	f.Add(uint64(0), []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(uint64(4096), []byte{0x01, 0x00, 0x5B, 0x7A})
+	f.Fuzz(func(t *testing.T, addr uint64, garbage []byte) {
+		h := hv.New(140)
+		dom, err := h.CreateDomain("fuzz", 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := guestos.Boot(dom, guestos.BootConfig{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.StartProcess("a", 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		if len(garbage) > 0 {
+			a := addr % (dom.MemBytes() - uint64(len(garbage)))
+			_ = dom.WritePhys(a, garbage)
+		}
+		ctx, err := NewContext(dom, g.Profile(), g.SystemMap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every walk must terminate without panicking.
+		_, _ = ctx.ProcessList()
+		_, _ = ctx.PIDHashList()
+		_, _ = ctx.ModuleList()
+		_, _ = ctx.Sockets()
+		_, _ = ctx.FileHandles()
+		_, _ = ctx.CanaryTable()
+		_, _ = ctx.SyscallTable()
+	})
+}

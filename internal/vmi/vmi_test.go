@@ -1,0 +1,278 @@
+package vmi
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+)
+
+func bootGuest(t *testing.T, prof *guestos.Profile) (*guestos.Guest, *Context) {
+	t.Helper()
+	h := hv.New(520)
+	dom, err := h.CreateDomain("guest", 512)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Profile: prof, Seed: 1})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	ctx, err := NewContext(dom, g.Profile(), g.SystemMap())
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	if err := ctx.Preprocess(); err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	return g, ctx
+}
+
+func TestParseSystemMap(t *testing.T) {
+	syms, err := ParseSystemMap("ffff880000001000 T init_task\nffff880000002000 D sys_call_table\n")
+	if err != nil {
+		t.Fatalf("ParseSystemMap: %v", err)
+	}
+	if syms["init_task"] != 0xffff880000001000 || syms["sys_call_table"] != 0xffff880000002000 {
+		t.Fatalf("symbols = %v", syms)
+	}
+	if _, err := ParseSystemMap("bogus line here extra\n"); err == nil {
+		t.Fatal("malformed map accepted")
+	}
+	if _, err := ParseSystemMap(""); err == nil {
+		t.Fatal("empty map accepted")
+	}
+}
+
+func TestNewContextRequiresSymbols(t *testing.T) {
+	h := hv.New(8)
+	dom, _ := h.CreateDomain("d", 4)
+	_, err := NewContext(dom, guestos.LinuxProfile(), "ffff880000001000 T init_task\n")
+	if !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("missing symbols: %v, want ErrNoSymbol", err)
+	}
+}
+
+func TestProcessListMatchesGuest(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.LinuxProfile())
+	pid1, _ := g.StartProcess("nginx", 33, 4)
+	pid2, _ := g.StartProcess("sshd", 0, 4)
+	procs, err := ctx.ProcessList()
+	if err != nil {
+		t.Fatalf("ProcessList: %v", err)
+	}
+	if len(procs) != 2 {
+		t.Fatalf("got %d processes, want 2", len(procs))
+	}
+	if procs[0].PID != pid1 || procs[0].Name != "nginx" || procs[0].UID != 33 {
+		t.Fatalf("proc[0] = %+v", procs[0])
+	}
+	if procs[1].PID != pid2 || procs[1].Name != "sshd" {
+		t.Fatalf("proc[1] = %+v", procs[1])
+	}
+	if err := g.ExitProcess(pid1); err != nil {
+		t.Fatalf("ExitProcess: %v", err)
+	}
+	procs, err = ctx.ProcessList()
+	if err != nil {
+		t.Fatalf("ProcessList: %v", err)
+	}
+	if len(procs) != 1 || procs[0].PID != pid2 {
+		t.Fatalf("after exit: %+v", procs)
+	}
+}
+
+func TestPIDHashSeesHiddenProcess(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("rootkit", 0, 4)
+	if err := g.HideProcess(pid); err != nil {
+		t.Fatalf("HideProcess: %v", err)
+	}
+	list, err := ctx.ProcessList()
+	if err != nil {
+		t.Fatalf("ProcessList: %v", err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("task list shows hidden proc: %+v", list)
+	}
+	hashed, err := ctx.PIDHashList()
+	if err != nil {
+		t.Fatalf("PIDHashList: %v", err)
+	}
+	found := false
+	for _, p := range hashed {
+		if p.PID == pid && p.Name == "rootkit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pid hash missing hidden proc: %+v", hashed)
+	}
+}
+
+func TestModuleList(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.LinuxProfile())
+	if _, err := g.LoadModule("evil_mod", 4096); err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	mods, err := ctx.ModuleList()
+	if err != nil {
+		t.Fatalf("ModuleList: %v", err)
+	}
+	// Most recently loaded module is at the list head.
+	if mods[0].Name != "evil_mod" || mods[0].Size != 4096 {
+		t.Fatalf("mods[0] = %+v", mods[0])
+	}
+	if len(mods) != 5 { // 4 boot modules + evil_mod
+		t.Fatalf("module count = %d, want 5", len(mods))
+	}
+}
+
+func TestSyscallIntegrity(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.LinuxProfile())
+	bad, err := ctx.CheckSyscallIntegrity()
+	if err != nil {
+		t.Fatalf("CheckSyscallIntegrity: %v", err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean table reported mismatches: %+v", bad)
+	}
+	if err := g.HijackSyscall(7, 0xbad); err != nil {
+		t.Fatalf("HijackSyscall: %v", err)
+	}
+	bad, err = ctx.CheckSyscallIntegrity()
+	if err != nil {
+		t.Fatalf("CheckSyscallIntegrity: %v", err)
+	}
+	if len(bad) != 1 || bad[0].Index != 7 || bad[0].Got != 0xbad {
+		t.Fatalf("mismatches = %+v", bad)
+	}
+}
+
+func TestSyscallIntegrityRequiresPreprocess(t *testing.T) {
+	h := hv.New(520)
+	dom, _ := h.CreateDomain("guest", 512)
+	g, err := guestos.Boot(dom, guestos.BootConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	ctx, err := NewContext(dom, g.Profile(), g.SystemMap())
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	if _, err := ctx.CheckSyscallIntegrity(); err == nil {
+		t.Fatal("integrity check without preprocess succeeded")
+	}
+}
+
+func TestSocketsAndFiles(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.WindowsProfile())
+	pid, _ := g.StartProcess("reg_read.exe", 500, 4)
+	if _, err := g.OpenSocket(pid, [4]byte{104, 28, 18, 89}, 8080); err != nil {
+		t.Fatalf("OpenSocket: %v", err)
+	}
+	if _, err := g.OpenFile(pid, `\Device\HarddiskVolume2\Windows`); err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	socks, err := ctx.Sockets()
+	if err != nil {
+		t.Fatalf("Sockets: %v", err)
+	}
+	if len(socks) != 1 || socks[0].RemoteIP != [4]byte{104, 28, 18, 89} ||
+		socks[0].RemotePort != 8080 || socks[0].OwnerPID != pid {
+		t.Fatalf("sockets = %+v", socks)
+	}
+	files, err := ctx.FileHandles()
+	if err != nil {
+		t.Fatalf("FileHandles: %v", err)
+	}
+	if len(files) != 1 || files[0].Path != `\Device\HarddiskVolume2\Windows` {
+		t.Fatalf("files = %+v", files)
+	}
+}
+
+func TestCanaryTable(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("app", 0, 8)
+	va, err := g.Malloc(pid, 128)
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	entries, err := ctx.CanaryTable()
+	if err != nil {
+		t.Fatalf("CanaryTable: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	wantPA, _ := g.TranslateUser(pid, va+128)
+	if entries[0].PA != wantPA || entries[0].Value != g.CanarySecret() {
+		t.Fatalf("entry = %+v", entries[0])
+	}
+	// VMI reads the canary through the table's physical address.
+	var buf [8]byte
+	if err := ctx.ReadPA(entries[0].PA, buf[:]); err != nil {
+		t.Fatalf("ReadPA: %v", err)
+	}
+}
+
+func TestCorruptTaskListDetected(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("app", 0, 4)
+	_ = pid
+	// Smash the task's magic.
+	procs, _ := ctx.ProcessList()
+	taskPA := ctx.TranslateKV(procs[0].TaskVA)
+	if err := g.Domain().WritePhys(taskPA, []byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if _, err := ctx.ProcessList(); !errors.Is(err, ErrCorruptList) {
+		t.Fatalf("corrupt list: %v, want ErrCorruptList", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	_, ctx := bootGuest(t, guestos.LinuxProfile())
+	ctx.ResetStats()
+	if _, err := ctx.ProcessList(); err != nil {
+		t.Fatalf("ProcessList: %v", err)
+	}
+	s := ctx.Stats()
+	if s.BytesRead == 0 || s.SymLookups == 0 {
+		t.Fatalf("stats not accumulated: %+v", s)
+	}
+}
+
+func TestWindowsProfileParsing(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.WindowsProfile())
+	pid, _ := g.StartProcess("explorer.exe", 500, 4)
+	procs, err := ctx.ProcessList()
+	if err != nil {
+		t.Fatalf("ProcessList: %v", err)
+	}
+	if len(procs) != 1 || procs[0].Name != "explorer.exe" || procs[0].PID != pid {
+		t.Fatalf("procs = %+v", procs)
+	}
+}
+
+func TestRegistryWalk(t *testing.T) {
+	g, ctx := bootGuest(t, guestos.WindowsProfile())
+	keys, err := ctx.Registry()
+	if err != nil {
+		t.Fatalf("Registry: %v", err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("hive keys = %+v", keys)
+	}
+	found := false
+	for _, k := range keys {
+		if k.Path == `HKLM\SOFTWARE\Corp\LicenseKey` && k.Value != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("license key missing from hive view: %+v", keys)
+	}
+	_ = g
+}

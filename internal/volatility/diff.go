@@ -1,0 +1,113 @@
+package volatility
+
+import (
+	"repro/internal/vmi"
+)
+
+// SemanticDiff summarizes what changed between two dumps at the kernel
+// object level: the new/removed processes, sockets, and file handles.
+// This is the paper's "analysis module diffs the two outputs" step:
+// netscan and handles are run on the checkpoints from both the start
+// and end of the epoch and compared (§5.6).
+type SemanticDiff struct {
+	NewProcesses     []vmi.ProcessInfo
+	GoneProcesses    []vmi.ProcessInfo
+	NewSockets       []vmi.SocketInfo
+	NewFiles         []vmi.FileInfo
+	SyscallsHijacked []int
+}
+
+// Diff computes the semantic diff from dump a (earlier) to dump b
+// (later).
+func Diff(a, b *Dump) (*SemanticDiff, error) {
+	ctxA, err := a.Context()
+	if err != nil {
+		return nil, err
+	}
+	ctxB, err := b.Context()
+	if err != nil {
+		return nil, err
+	}
+	procsA, err := ctxA.ProcessList()
+	if err != nil {
+		return nil, err
+	}
+	procsB, err := ctxB.ProcessList()
+	if err != nil {
+		return nil, err
+	}
+	socksA, err := ctxA.Sockets()
+	if err != nil {
+		return nil, err
+	}
+	socksB, err := ctxB.Sockets()
+	if err != nil {
+		return nil, err
+	}
+	filesA, err := ctxA.FileHandles()
+	if err != nil {
+		return nil, err
+	}
+	filesB, err := ctxB.FileHandles()
+	if err != nil {
+		return nil, err
+	}
+	tableA, err := ctxA.SyscallTable()
+	if err != nil {
+		return nil, err
+	}
+	tableB, err := ctxB.SyscallTable()
+	if err != nil {
+		return nil, err
+	}
+
+	d := &SemanticDiff{}
+	pidsA := make(map[uint32]bool, len(procsA))
+	for _, p := range procsA {
+		pidsA[p.PID] = true
+	}
+	pidsB := make(map[uint32]bool, len(procsB))
+	for _, p := range procsB {
+		pidsB[p.PID] = true
+	}
+	for _, p := range procsB {
+		if !pidsA[p.PID] {
+			d.NewProcesses = append(d.NewProcesses, p)
+		}
+	}
+	for _, p := range procsA {
+		if !pidsB[p.PID] {
+			d.GoneProcesses = append(d.GoneProcesses, p)
+		}
+	}
+	sockKeys := make(map[uint64]bool, len(socksA))
+	for _, s := range socksA {
+		sockKeys[s.VA] = true
+	}
+	for _, s := range socksB {
+		if !sockKeys[s.VA] {
+			d.NewSockets = append(d.NewSockets, s)
+		}
+	}
+	fileKeys := make(map[uint64]bool, len(filesA))
+	for _, f := range filesA {
+		fileKeys[f.VA] = true
+	}
+	for _, f := range filesB {
+		if !fileKeys[f.VA] {
+			d.NewFiles = append(d.NewFiles, f)
+		}
+	}
+	for i := range tableA {
+		if tableA[i] != tableB[i] {
+			d.SyscallsHijacked = append(d.SyscallsHijacked, i)
+		}
+	}
+	return d, nil
+}
+
+// Empty reports whether the diff found no kernel-object changes.
+func (d *SemanticDiff) Empty() bool {
+	return len(d.NewProcesses) == 0 && len(d.GoneProcesses) == 0 &&
+		len(d.NewSockets) == 0 && len(d.NewFiles) == 0 && len(d.SyscallsHijacked) == 0
+}

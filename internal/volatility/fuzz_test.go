@@ -1,0 +1,69 @@
+package volatility
+
+import (
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+)
+
+// FuzzPsScan runs the heuristic scanner over dumps with injected
+// garbage: it must never panic and every returned record must be
+// plausible.
+func FuzzPsScan(f *testing.F) {
+	f.Add(uint64(0), []byte{0x01, 0x00, 0x5B, 0x7A, 0x41, 0x41})
+	f.Add(uint64(8192), []byte{0xFF})
+	f.Fuzz(func(t *testing.T, addr uint64, garbage []byte) {
+		h := hv.New(72)
+		dom, err := h.CreateDomain("fuzz", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := guestos.Boot(dom, guestos.BootConfig{Seed: 1, CanaryCapacity: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(garbage) > 0 {
+			a := addr % (dom.MemBytes() - uint64(len(garbage)))
+			_ = dom.WritePhys(a, garbage)
+		}
+		snap, err := dom.DumpMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDump(snap, g.Profile(), g.SystemMap())
+		procs, err := PsScan(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range procs {
+			if p.PID > 1_000_000 {
+				t.Fatalf("implausible record accepted: %+v", p)
+			}
+		}
+		if _, err := ModScan(d); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzStrings checks the string extractor on arbitrary images.
+func FuzzStrings(f *testing.F) {
+	f.Add([]byte("hello\x00world"), 3)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, img []byte, minLen int) {
+		if minLen < -1000 || minLen > 1000 {
+			return
+		}
+		for _, s := range Strings(img, minLen) {
+			if len(s) < 2 {
+				t.Fatalf("too-short string %q returned", s)
+			}
+			for _, r := range s {
+				if r < 0x20 || r > 0x7e {
+					t.Fatalf("non-printable rune in %q", s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package volatility
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vmi"
+)
+
+// Report is the comprehensive security report the CRIMES Analyzer
+// assembles for an administrator (§3.3, §5.6).
+type Report struct {
+	Title     string
+	Malware   []vmi.ProcessInfo
+	Sockets   []vmi.SocketInfo
+	Files     []vmi.FileInfo
+	XView     []XViewRow
+	Diff      *SemanticDiff
+	Extracted *ProcDumpResult
+	Notes     []string
+}
+
+func sockState(s uint32) string {
+	switch s {
+	case 1:
+		return "ESTABLISHED"
+	case 2:
+		return "CLOSE_WAIT"
+	default:
+		return fmt.Sprintf("STATE_%d", s)
+	}
+}
+
+// Render formats the report in the style of the paper's §5.6 output.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== CRIMES Forensic Report: %s ===\n", r.Title)
+
+	if len(r.Malware) > 0 {
+		b.WriteString("\nMalware detected:\n")
+		fmt.Fprintf(&b, "%-20s %-8s %s\n", "Name", "PID", "Start")
+		for _, m := range r.Malware {
+			fmt.Fprintf(&b, "%-20s %-8d t+%dns\n", m.Name, m.PID, m.StartTime)
+		}
+	}
+
+	if len(r.Sockets) > 0 {
+		b.WriteString("\nOpen Sockets:\n")
+		fmt.Fprintf(&b, "%-9s %-22s %-22s %s\n", "Protocol", "Local Address", "Foreign Address", "State")
+		for _, s := range r.Sockets {
+			proto := "TCPv4"
+			if s.Proto != 6 {
+				proto = fmt.Sprintf("proto%d", s.Proto)
+			}
+			fmt.Fprintf(&b, "%-9s %-22s %-22s %s\n", proto,
+				fmt.Sprintf("%d.%d.%d.%d:%d", s.LocalIP[0], s.LocalIP[1], s.LocalIP[2], s.LocalIP[3], s.LocalPort),
+				fmt.Sprintf("%d.%d.%d.%d:%d", s.RemoteIP[0], s.RemoteIP[1], s.RemoteIP[2], s.RemoteIP[3], s.RemotePort),
+				sockState(s.State))
+		}
+	}
+
+	if len(r.Files) > 0 {
+		b.WriteString("\nOpen File Handles:\n")
+		for _, f := range r.Files {
+			fmt.Fprintf(&b, "%s\n", f.Path)
+		}
+	}
+
+	if len(r.XView) > 0 {
+		b.WriteString("\npsxview Cross View:\n")
+		fmt.Fprintf(&b, "%-20s %-8s %-8s %-8s %-8s %s\n", "Name", "PID", "pslist", "psscan", "pidhash", "suspicious")
+		for _, row := range r.XView {
+			fmt.Fprintf(&b, "%-20s %-8d %-8v %-8v %-8v %v\n",
+				row.Name, row.PID, row.InPsList, row.InPsScan, row.InPIDHash, row.Suspicious())
+		}
+	}
+
+	if r.Diff != nil && !r.Diff.Empty() {
+		b.WriteString("\nEpoch Diff (last-good checkpoint vs audit failure):\n")
+		for _, p := range r.Diff.NewProcesses {
+			fmt.Fprintf(&b, "  + process %q pid=%d uid=%d\n", p.Name, p.PID, p.UID)
+		}
+		for _, p := range r.Diff.GoneProcesses {
+			fmt.Fprintf(&b, "  - process %q pid=%d\n", p.Name, p.PID)
+		}
+		for _, s := range r.Diff.NewSockets {
+			fmt.Fprintf(&b, "  + socket to %d.%d.%d.%d:%d (pid %d)\n",
+				s.RemoteIP[0], s.RemoteIP[1], s.RemoteIP[2], s.RemoteIP[3], s.RemotePort, s.OwnerPID)
+		}
+		for _, f := range r.Diff.NewFiles {
+			fmt.Fprintf(&b, "  + file handle %s (pid %d)\n", f.Path, f.OwnerPID)
+		}
+		for _, idx := range r.Diff.SyscallsHijacked {
+			fmt.Fprintf(&b, "  ! syscall table entry %d modified\n", idx)
+		}
+	}
+
+	if r.Extracted != nil {
+		fmt.Fprintf(&b, "\nExtracted executable image: %s (pid %d, %d bytes) for sandbox analysis\n",
+			r.Extracted.Name, r.Extracted.PID, len(r.Extracted.Image))
+	}
+
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nNote: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,300 @@
+package volatility
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+)
+
+func bootAndDump(t *testing.T, prof *guestos.Profile, setup func(*guestos.Guest)) (*guestos.Guest, func() *Dump) {
+	t.Helper()
+	h := hv.New(520)
+	dom, err := h.CreateDomain("guest", 512)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Profile: prof, Seed: 3})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if setup != nil {
+		setup(g)
+	}
+	dump := func() *Dump {
+		snap, err := dom.DumpMemory()
+		if err != nil {
+			t.Fatalf("DumpMemory: %v", err)
+		}
+		return NewDump(snap, g.Profile(), g.SystemMap())
+	}
+	return g, dump
+}
+
+func TestPsListFromDump(t *testing.T) {
+	_, dumpFn := bootAndDump(t, guestos.LinuxProfile(), func(g *guestos.Guest) {
+		if _, err := g.StartProcess("nginx", 33, 4); err != nil {
+			t.Fatalf("StartProcess: %v", err)
+		}
+	})
+	procs, err := PsList(dumpFn())
+	if err != nil {
+		t.Fatalf("PsList: %v", err)
+	}
+	if len(procs) != 1 || procs[0].Name != "nginx" {
+		t.Fatalf("PsList = %+v", procs)
+	}
+}
+
+func TestPsScanFindsExitedProcess(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	pid, err := g.StartProcess("ghost", 0, 4)
+	if err != nil {
+		t.Fatalf("StartProcess: %v", err)
+	}
+	if err := g.ExitProcess(pid); err != nil {
+		t.Fatalf("ExitProcess: %v", err)
+	}
+	d := dumpFn()
+	list, err := PsList(d)
+	if err != nil {
+		t.Fatalf("PsList: %v", err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("pslist shows exited proc: %+v", list)
+	}
+	scanned, err := PsScan(d)
+	if err != nil {
+		t.Fatalf("PsScan: %v", err)
+	}
+	found := false
+	for _, p := range scanned {
+		if p.Name == "ghost" && p.PID == pid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("psscan missed exited process: %+v", scanned)
+	}
+}
+
+func TestPsXViewFlagsHiddenProcess(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	visPID, _ := g.StartProcess("sshd", 0, 4)
+	hidPID, _ := g.StartProcess("rootkit", 0, 4)
+	if err := g.HideProcess(hidPID); err != nil {
+		t.Fatalf("HideProcess: %v", err)
+	}
+	rows, err := PsXView(dumpFn())
+	if err != nil {
+		t.Fatalf("PsXView: %v", err)
+	}
+	var vis, hid *XViewRow
+	for i := range rows {
+		switch rows[i].PID {
+		case visPID:
+			vis = &rows[i]
+		case hidPID:
+			hid = &rows[i]
+		}
+	}
+	if vis == nil || hid == nil {
+		t.Fatalf("rows missing processes: %+v", rows)
+	}
+	if !vis.InPsList || !vis.InPsScan || !vis.InPIDHash || vis.Suspicious() {
+		t.Fatalf("visible row wrong: %+v", vis)
+	}
+	if hid.InPsList || !hid.InPIDHash || !hid.InPsScan || !hid.Suspicious() {
+		t.Fatalf("hidden row wrong: %+v", hid)
+	}
+}
+
+func TestProcDumpExtractsImage(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	pid, _ := g.StartProcess("app", 0, 4)
+	va, err := g.Malloc(pid, 64)
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	if err := g.WriteUser(pid, va, []byte("forensic payload")); err != nil {
+		t.Fatalf("WriteUser: %v", err)
+	}
+	pd, err := ProcDump(dumpFn(), pid)
+	if err != nil {
+		t.Fatalf("ProcDump: %v", err)
+	}
+	if pd.Name != "app" {
+		t.Fatalf("name = %q", pd.Name)
+	}
+	if !strings.Contains(string(pd.Image), "forensic payload") {
+		t.Fatal("extracted image missing heap contents")
+	}
+	wantSize := (4 + 2) * 4096 // heap + stack pages
+	if len(pd.Image) != wantSize {
+		t.Fatalf("image size = %d, want %d", len(pd.Image), wantSize)
+	}
+}
+
+func TestProcDumpHiddenProcess(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	pid, _ := g.StartProcess("stealth", 0, 4)
+	if err := g.HideProcess(pid); err != nil {
+		t.Fatalf("HideProcess: %v", err)
+	}
+	pd, err := ProcDump(dumpFn(), pid)
+	if err != nil {
+		t.Fatalf("ProcDump of hidden process: %v", err)
+	}
+	if pd.PID != pid {
+		t.Fatalf("pid = %d", pd.PID)
+	}
+}
+
+func TestProcDumpUnknownPID(t *testing.T) {
+	_, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	if _, err := ProcDump(dumpFn(), 999); err == nil {
+		t.Fatal("ProcDump of unknown pid succeeded")
+	}
+}
+
+func TestNetScanAndHandles(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.WindowsProfile(), nil)
+	pid, _ := g.StartProcess("reg_read.exe", 500, 4)
+	if _, err := g.OpenSocket(pid, [4]byte{104, 28, 18, 89}, 8080); err != nil {
+		t.Fatalf("OpenSocket: %v", err)
+	}
+	if _, err := g.OpenFile(pid, `\Device\HarddiskVolume2\Windows`); err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	d := dumpFn()
+	socks, err := NetScan(d)
+	if err != nil {
+		t.Fatalf("NetScan: %v", err)
+	}
+	if len(socks) != 1 || socks[0].RemotePort != 8080 {
+		t.Fatalf("NetScan = %+v", socks)
+	}
+	files, err := Handles(d)
+	if err != nil {
+		t.Fatalf("Handles: %v", err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("Handles = %+v", files)
+	}
+}
+
+func TestDiffPagesAndSemanticDiff(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.WindowsProfile(), nil)
+	before := dumpFn()
+
+	pid, _ := g.StartProcess("reg_read.exe", 500, 4)
+	if _, err := g.OpenSocket(pid, [4]byte{104, 28, 18, 89}, 8080); err != nil {
+		t.Fatalf("OpenSocket: %v", err)
+	}
+	if _, err := g.OpenFile(pid, `\Device\HarddiskVolume2\Users\root\Desktop\write_file.txt`); err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	after := dumpFn()
+
+	pages, err := DiffPages(before, after)
+	if err != nil {
+		t.Fatalf("DiffPages: %v", err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no pages changed")
+	}
+
+	sd, err := Diff(before, after)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if sd.Empty() {
+		t.Fatal("semantic diff empty")
+	}
+	if len(sd.NewProcesses) != 1 || sd.NewProcesses[0].Name != "reg_read.exe" {
+		t.Fatalf("NewProcesses = %+v", sd.NewProcesses)
+	}
+	if len(sd.NewSockets) != 1 || len(sd.NewFiles) != 1 {
+		t.Fatalf("sockets=%d files=%d, want 1 each", len(sd.NewSockets), len(sd.NewFiles))
+	}
+}
+
+func TestSemanticDiffSyscallHijack(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	before := dumpFn()
+	if err := g.HijackSyscall(3, 0xbadbad); err != nil {
+		t.Fatalf("HijackSyscall: %v", err)
+	}
+	sd, err := Diff(before, dumpFn())
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(sd.SyscallsHijacked) != 1 || sd.SyscallsHijacked[0] != 3 {
+		t.Fatalf("SyscallsHijacked = %v", sd.SyscallsHijacked)
+	}
+}
+
+func TestDiffSizeMismatch(t *testing.T) {
+	_, dumpA := bootAndDump(t, guestos.LinuxProfile(), nil)
+	h := hv.New(300)
+	dom, _ := h.CreateDomain("small", 256)
+	g2, err := guestos.Boot(dom, guestos.BootConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	snap, _ := dom.DumpMemory()
+	b := NewDump(snap, g2.Profile(), g2.SystemMap())
+	if _, err := DiffPages(dumpA(), b); err == nil {
+		t.Fatal("DiffPages with size mismatch succeeded")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	g, dumpFn := bootAndDump(t, guestos.WindowsProfile(), nil)
+	before := dumpFn()
+	pid, _ := g.StartProcess("reg_read.exe", 500, 4)
+	_, _ = g.OpenSocket(pid, [4]byte{104, 28, 18, 89}, 8080)
+	_, _ = g.OpenFile(pid, `\Device\HarddiskVolume2\Users\root\Desktop\write_file.txt`)
+	after := dumpFn()
+
+	procs, _ := PsList(after)
+	socks, _ := NetScan(after)
+	files, _ := Handles(after)
+	xview, _ := PsXView(after)
+	diff, _ := Diff(before, after)
+	extracted, _ := ProcDump(after, pid)
+
+	rep := &Report{
+		Title:     "Malware Detection",
+		Malware:   procs,
+		Sockets:   socks,
+		Files:     files,
+		XView:     xview,
+		Diff:      diff,
+		Extracted: extracted,
+	}
+	out := rep.Render()
+	for _, want := range []string{
+		"Malware detected:",
+		"reg_read.exe",
+		"104.28.18.89:8080",
+		"ESTABLISHED",
+		`write_file.txt`,
+		"+ process \"reg_read.exe\"",
+		"Extracted executable image",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpReadPhysBounds(t *testing.T) {
+	_, dumpFn := bootAndDump(t, guestos.LinuxProfile(), nil)
+	d := dumpFn()
+	buf := make([]byte, 16)
+	if err := d.ReadPhys(d.MemBytes()-8, buf); err == nil {
+		t.Fatal("read past end of dump succeeded")
+	}
+}

@@ -1,0 +1,172 @@
+package websim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBaselineMatchesPaper(t *testing.T) {
+	// No protection: the paper's baseline measured 17,094 req/s at
+	// 2.83 ms average latency.
+	res, err := Simulate(DefaultParams())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Throughput < 16000 || res.Throughput > 18000 {
+		t.Fatalf("baseline throughput = %.0f req/s, want ~17094", res.Throughput)
+	}
+	ms := res.AvgLatency.Seconds() * 1000
+	// Closed-loop with pipelining: latency = outstanding/throughput.
+	if ms < 2.0 || ms > 60 {
+		t.Fatalf("baseline latency = %.2f ms", ms)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := Simulate(Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func protectedParams(epoch, pause time.Duration, buffered bool) Params {
+	p := DefaultParams()
+	p.Epoch = epoch
+	p.Pause = pause
+	p.Buffered = buffered
+	return p
+}
+
+func TestSyncThroughputFallsWithInterval(t *testing.T) {
+	// Figure 7b: under Synchronous Safety, normalized throughput falls
+	// as the epoch interval grows (responses are held longer and the
+	// closed-loop client cannot fill the server).
+	var prev float64 = 1e18
+	for _, epoch := range []time.Duration{20, 60, 100, 200} {
+		res, err := Simulate(protectedParams(epoch*time.Millisecond, 5*time.Millisecond, true))
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		if res.Throughput >= prev {
+			t.Fatalf("throughput not decreasing at %dms: %.0f >= %.0f", epoch, res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}
+
+func TestSyncLatencyGrowsWithInterval(t *testing.T) {
+	// Figure 7a: normalized latency grows with the epoch interval.
+	var prev time.Duration
+	for _, epoch := range []time.Duration{20, 60, 100, 200} {
+		res, err := Simulate(protectedParams(epoch*time.Millisecond, 5*time.Millisecond, true))
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		if res.AvgLatency <= prev {
+			t.Fatalf("latency not increasing at %dms: %v <= %v", epoch, res.AvgLatency, prev)
+		}
+		prev = res.AvgLatency
+	}
+}
+
+func TestBestEffortNearBaseline(t *testing.T) {
+	// §5.4: "In the case of best-effort safety ... the performance is
+	// almost equal with having no protection at all."
+	base, _ := Simulate(DefaultParams())
+	for _, epoch := range []time.Duration{20, 200} {
+		res, err := Simulate(protectedParams(epoch*time.Millisecond, 2*time.Millisecond, false))
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		ratio := res.Throughput / base.Throughput
+		if ratio < 0.85 {
+			t.Fatalf("best effort at %dms = %.2f of baseline, want ~1", epoch, ratio)
+		}
+	}
+}
+
+func TestBestEffortBeatsSync(t *testing.T) {
+	sync, _ := Simulate(protectedParams(100*time.Millisecond, 5*time.Millisecond, true))
+	be, _ := Simulate(protectedParams(100*time.Millisecond, 5*time.Millisecond, false))
+	if be.Throughput <= sync.Throughput {
+		t.Fatalf("best effort (%.0f) not faster than sync (%.0f)", be.Throughput, sync.Throughput)
+	}
+	if be.AvgLatency >= sync.AvgLatency {
+		t.Fatalf("best effort latency (%v) not lower than sync (%v)", be.AvgLatency, sync.AvgLatency)
+	}
+}
+
+func TestPauseReducesBestEffortThroughput(t *testing.T) {
+	// Even unbuffered, the VM serves nothing while paused.
+	small, _ := Simulate(protectedParams(20*time.Millisecond, time.Millisecond, false))
+	big, _ := Simulate(protectedParams(20*time.Millisecond, 10*time.Millisecond, false))
+	if big.Throughput >= small.Throughput {
+		t.Fatalf("larger pause did not reduce throughput: %.0f >= %.0f", big.Throughput, small.Throughput)
+	}
+}
+
+func TestServiceSpansPause(t *testing.T) {
+	// A request arriving just before the pause finishes after it: the
+	// server makes no progress while the VM is paused.
+	p := DefaultParams()
+	p.Connections = 1
+	p.Pipeline = 1
+	p.Service = 10 * time.Millisecond
+	p.Epoch = 15 * time.Millisecond
+	p.Pause = 50 * time.Millisecond
+	p.Buffered = false
+	p.Horizon = time.Second
+	res, err := Simulate(p)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Each 65ms cycle has 15ms of service capacity; a 10ms request fits
+	// one per cycle at most: throughput well below 1/service.
+	if res.Throughput > 1.0/p.Service.Seconds()/2 {
+		t.Fatalf("throughput %.0f ignores pauses", res.Throughput)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestClosedLoopLittlesLaw(t *testing.T) {
+	// Single server, closed loop: throughput is capped at 1/service
+	// regardless of connections, and latency grows with the number of
+	// outstanding requests (Little's law: L = X * W).
+	base := DefaultParams()
+	base.Pipeline = 1
+	base.Service = 500 * time.Microsecond
+	base.Connections = 1
+	low, _ := Simulate(base)
+	base.Connections = 48
+	high, _ := Simulate(base)
+	cap := 1.0 / base.Service.Seconds()
+	for _, r := range []Result{low, high} {
+		if r.Throughput > cap*1.05 {
+			t.Fatalf("throughput %.0f exceeds server capacity %.0f", r.Throughput, cap)
+		}
+	}
+	if high.AvgLatency < 40*low.AvgLatency {
+		t.Fatalf("latency did not scale with outstanding requests: %v vs %v",
+			high.AvgLatency, low.AvgLatency)
+	}
+	// Little's law within 10%: L = X * W.
+	l := high.Throughput * high.AvgLatency.Seconds()
+	if l < 43 || l > 53 {
+		t.Fatalf("Little's law violated: L = %.1f, want ~48", l)
+	}
+}
+
+func TestBufferedReleaseAtCycleBoundary(t *testing.T) {
+	// With buffering, every observed latency is at least the remaining
+	// time to a cycle boundary; mean latency must exceed best effort's.
+	p := protectedParams(50*time.Millisecond, 5*time.Millisecond, true)
+	p.Connections = 2
+	p.Pipeline = 1
+	sync, _ := Simulate(p)
+	p.Buffered = false
+	be, _ := Simulate(p)
+	if sync.AvgLatency <= be.AvgLatency {
+		t.Fatalf("buffered latency %v not above unbuffered %v", sync.AvgLatency, be.AvgLatency)
+	}
+}

