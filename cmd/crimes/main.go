@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/detect"
@@ -43,6 +45,7 @@ func run() error {
 		bestEffort = flag.Bool("best-effort", false, "disable output buffering (Best Effort safety)")
 		pot        = flag.Bool("honeypot", false, "after an incident, convert the VM into a monitored honeypot")
 		modules    = flag.String("modules", "default", "comma-separated detector modules (see -modules list)")
+		faultSpec  = flag.String("fault", "", "inject a fault: site:N[:transient] fails the Nth call at site (e.g. hv.suspend:2, remus.send:1:transient)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,14 @@ func run() error {
 	}
 	defer sys.Close()
 
+	if *faultSpec != "" {
+		inj, err := parseFault(*faultSpec)
+		if err != nil {
+			return err
+		}
+		sys.HV.InjectFaults(inj)
+	}
+
 	spec, err := workload.ParsecByName(*wl)
 	if err != nil {
 		return err
@@ -92,10 +103,14 @@ func run() error {
 			return nil
 		})
 		if err != nil {
+			if res != nil {
+				reportRecovery(res.Recovery)
+			}
 			return err
 		}
 		fmt.Printf("epoch %2d: dirty=%5d pages, pause=%8v, findings=%d\n",
 			res.Epoch, res.Counts.DirtyPages, res.Phases.Total().Round(time.Microsecond), len(res.Findings))
+		reportRecovery(res.Recovery)
 		if res.Incident != nil {
 			fmt.Printf("\nINCIDENT at epoch %d; %d buffered outputs discarded\n",
 				res.Incident.Epoch, sys.Controller.Buffer().Discarded())
@@ -115,6 +130,48 @@ func run() error {
 		sys.Controller.TotalPause().Round(time.Millisecond),
 		100*float64(sys.Controller.TotalPause())/float64(sys.Controller.VirtualTime()))
 	return nil
+}
+
+// parseFault builds an injector from a site:N[:transient] spec.
+func parseFault(spec string) (*crimes.FaultInjector, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("bad -fault spec %q (want site:N[:transient])", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad -fault occurrence %q (want a positive integer)", parts[1])
+	}
+	transient := false
+	if len(parts) == 3 {
+		if parts[2] != "transient" {
+			return nil, fmt.Errorf("bad -fault modifier %q (want \"transient\")", parts[2])
+		}
+		transient = true
+	}
+	inj := &crimes.FaultInjector{}
+	inj.Fail(parts[0], n, 1, transient)
+	return inj, nil
+}
+
+// reportRecovery prints any retries, degradations, or unwinds an epoch
+// needed; a clean recovery prints nothing.
+func reportRecovery(rec crimes.Recovery) {
+	if rec.Clean() {
+		return
+	}
+	if rec.Retries > 0 {
+		fmt.Printf("  recovery: %d transient failure(s) retried\n", rec.Retries)
+	}
+	if rec.Unwind != crimes.UnwindNone {
+		fmt.Printf("  recovery: unwound via %s\n", rec.Unwind)
+	}
+	for _, d := range rec.Degradations {
+		fmt.Printf("  degraded: %s\n", d)
+	}
+	for _, w := range rec.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
 }
 
 func runHoneypot(sys *crimes.System, pid uint32) error {

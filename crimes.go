@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/guestos"
 	"repro/internal/hv"
 	"repro/internal/netbuf"
@@ -57,6 +58,13 @@ type (
 	Pinpoint = analyze.Pinpoint
 	// ScanMode selects synchronous or asynchronous audits.
 	ScanMode = core.ScanMode
+	// Recovery reports the retries, degradations, and unwind path an
+	// epoch needed (zero value: no recovery at all).
+	Recovery = core.Recovery
+	// FaultInjector deterministically fails the Nth occurrence of a
+	// named hypercall, conduit, or disk operation (testing and chaos
+	// experiments).
+	FaultInjector = fault.Injector
 )
 
 // Safety modes (output buffering policy).
@@ -77,6 +85,14 @@ const (
 	OptMemcpy = cost.Memcpy
 	OptPremap = cost.Premap
 	OptFull   = cost.Full
+)
+
+// Unwind paths recorded in Recovery after an epoch error.
+const (
+	UnwindNone     = core.UnwindNone
+	UnwindResume   = core.UnwindResume
+	UnwindRollback = core.UnwindRollback
+	UnwindHalt     = core.UnwindHalt
 )
 
 // DefaultModules returns the full detector stack: guest-aided canary

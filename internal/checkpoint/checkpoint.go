@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/hv"
 	"repro/internal/mem"
 	"repro/internal/remus"
@@ -25,6 +26,15 @@ import (
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("checkpoint: checkpointer closed")
+
+// FaultCopyPage is the fault-injection site for the per-page backup
+// copy on the premapped paths: an armed fault fails the commit midway
+// through the copy loop, exercising the undo log.
+const FaultCopyPage = "checkpoint.copypage"
+
+// maxRemoteRetries bounds in-commit retries of transiently failing
+// remote checkpoint ships before replication degrades to local-only.
+const maxRemoteRetries = 3
 
 // Checkpointer keeps a backup domain synchronized with a primary by
 // copying dirty pages at every epoch boundary. The backup is always the
@@ -60,8 +70,32 @@ type Checkpointer struct {
 	remote        *hv.Domain
 	remoteConduit *remus.Conduit
 
+	// Undo log: the backup pages/blocks about to be overwritten by the
+	// current commit, captured so a mid-commit failure can be unwound
+	// and the backup stays a consistent snapshot of an audited epoch.
+	undoMem  []byte
+	undoDisk []byte
+
+	report CommitReport
 	closed bool
 }
+
+// CommitReport describes the recovery events of the most recent
+// checkpoint commit attempt.
+type CommitReport struct {
+	// RemoteRetries counts transient remote-ship failures retried
+	// during the commit.
+	RemoteRetries int
+	// RemoteDegraded is true when remote replication was disabled
+	// during the commit after a persistent failure.
+	RemoteDegraded bool
+	// Warnings records non-fatal anomalies, such as the degradation.
+	Warnings []string
+}
+
+// LastReport returns the recovery report of the most recent commit
+// attempt.
+func (c *Checkpointer) LastReport() CommitReport { return c.report }
 
 // New creates a checkpointer for the primary domain at the given
 // optimization level, allocates the backup domain (doubling the VM's
@@ -79,18 +113,34 @@ func New(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization) (*Checkpoi
 		dirty:   mem.NewBitmap(primary.Pages()),
 		scratch: make([]mem.PFN, 0, primary.Pages()),
 	}
+	// Any failure below must release everything acquired so far — in
+	// particular the backup domain, whose machine frames would otherwise
+	// leak with no handle left to destroy them.
+	fail := func(err error) (*Checkpointer, error) {
+		if c.gmPrimary != nil {
+			c.gmPrimary.Unmap()
+		}
+		if c.gmBackup != nil {
+			c.gmBackup.Unmap()
+		}
+		if c.conduit != nil {
+			_ = c.conduit.Close()
+		}
+		_ = h.DestroyDomain(backup.ID())
+		return nil, err
+	}
 	if opt >= cost.Premap {
 		if c.gmPrimary, err = h.MapAll(primary); err != nil {
-			return nil, fmt.Errorf("checkpoint: premap primary: %w", err)
+			return fail(fmt.Errorf("checkpoint: premap primary: %w", err))
 		}
 		if c.gmBackup, err = h.MapAll(backup); err != nil {
-			return nil, fmt.Errorf("checkpoint: premap backup: %w", err)
+			return fail(fmt.Errorf("checkpoint: premap backup: %w", err))
 		}
 	}
 	if opt == cost.NoOpt {
 		key := []byte("crimes-remus-key")
 		if c.conduit, err = remus.NewConduit(h, backup, key); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	// Initial synchronization: ship every page, as live migration's
@@ -98,7 +148,7 @@ func New(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization) (*Checkpoi
 	primary.EnableDirtyLogging()
 	primary.MarkAllDirty()
 	if _, err := c.Checkpoint(); err != nil {
-		return nil, fmt.Errorf("checkpoint: initial sync: %w", err)
+		return fail(fmt.Errorf("checkpoint: initial sync: %w", err))
 	}
 	return c, nil
 }
@@ -111,6 +161,8 @@ func (c *Checkpointer) AttachDisk(d *vdisk.Disk) error {
 	}
 	c.disk = d
 	c.backupDisk = vdisk.New(d.Blocks())
+	d.InjectFaults(c.hv.Faults())
+	c.backupDisk.InjectFaults(c.hv.Faults())
 	d.EnableDirtyLogging()
 	d.MarkAllDirty()
 	blocks := d.HarvestDirty(nil)
@@ -141,6 +193,9 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 	}
 	conduit, err := remus.NewConduit(c.hv, remote, key)
 	if err != nil {
+		// The remote domain must not leak when the conduit to it cannot
+		// be established.
+		_ = c.hv.DestroyDomain(remote.ID())
 		return err
 	}
 	c.remote = remote
@@ -151,6 +206,10 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 		all[i] = mem.PFN(i)
 	}
 	if err := c.shipRemote(all); err != nil {
+		// Unwind completely: replication never became active.
+		_ = conduit.Close()
+		_ = c.hv.DestroyDomain(remote.ID())
+		c.remote, c.remoteConduit = nil, nil
 		return fmt.Errorf("checkpoint: initial remote sync: %w", err)
 	}
 	return nil
@@ -205,6 +264,7 @@ func (c *Checkpointer) CheckpointBitmap(dirty *mem.Bitmap) (cost.Counts, error) 
 }
 
 func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
+	c.report = CommitReport{}
 
 	// Dirty bitmap scan: the Full level uses the word-granularity scan.
 	if c.opt >= cost.Full {
@@ -214,10 +274,43 @@ func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 	}
 	dirty := c.scratch
 
+	// Harvest the disk's dirty blocks up front so the undo log covers
+	// them; a failed commit re-marks them so a retry sees them again.
+	var diskDirty []mem.PFN
+	if c.disk != nil {
+		c.diskScratch = c.disk.HarvestDirty(c.diskScratch[:0])
+		diskDirty = c.diskScratch
+	}
+
 	counts := cost.Counts{
 		TotalPages:  c.primary.Pages(),
 		DirtyPages:  len(dirty),
 		BytesCopied: len(dirty) * mem.PageSize,
+	}
+
+	// Capture the backup pages and blocks this commit will overwrite.
+	// The invariant the undo log protects: the backup is a consistent
+	// snapshot of SOME audited epoch at every instant, so rollback is
+	// always safe — even when a copy path dies halfway through.
+	// remark restores the dirty logs a failed commit consumed — the
+	// harvested pages back into the primary's log and the harvested
+	// blocks back into the disk's — so a retried Checkpoint still
+	// covers them.
+	remark := func() {
+		_ = c.primary.MergeDirty(c.dirty)
+		if c.disk != nil {
+			c.disk.MarkDirty(diskDirty)
+		}
+	}
+	fail := func(err error) (cost.Counts, error) {
+		c.applyUndo(dirty, diskDirty)
+		remark()
+		return cost.Counts{}, err
+	}
+	if err := c.captureUndo(dirty, diskDirty); err != nil {
+		// Nothing was modified yet; just restore the dirty logs.
+		remark()
+		return cost.Counts{}, err
 	}
 
 	var err error
@@ -230,29 +323,104 @@ func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 		err = c.copySocket(dirty)
 	}
 	if err != nil {
-		return cost.Counts{}, err
+		return fail(err)
 	}
 	if c.disk != nil {
-		c.diskScratch = c.disk.HarvestDirty(c.diskScratch[:0])
-		if err := c.disk.CopyBlocksTo(c.backupDisk, c.diskScratch); err != nil {
-			return cost.Counts{}, err
+		if err := c.disk.CopyBlocksTo(c.backupDisk, diskDirty); err != nil {
+			return fail(err)
 		}
-		counts.DiskBlocks = len(c.diskScratch)
-		counts.BytesCopied += len(c.diskScratch) * vdisk.BlockSize
+		counts.DiskBlocks = len(diskDirty)
+		counts.BytesCopied += len(diskDirty) * vdisk.BlockSize
 	}
 	if c.remote != nil {
-		if err := c.shipRemote(dirty); err != nil {
-			return cost.Counts{}, err
+		// Remote replication is an availability add-on (§4.1): it must
+		// never fail the security-critical local commit. Transient
+		// failures are retried; a persistent failure downgrades the
+		// checkpointer to local-only with a recorded warning.
+		if err := c.shipRemoteRetry(dirty); err != nil {
+			c.degradeRemote(err)
+		} else {
+			counts.RemotePages = len(dirty)
 		}
-		counts.RemotePages = len(dirty)
 	}
 	return counts, nil
+}
+
+// captureUndo saves the backup pages and disk blocks the commit is
+// about to overwrite into reusable scratch buffers.
+func (c *Checkpointer) captureUndo(dirty, diskDirty []mem.PFN) error {
+	need := len(dirty) * mem.PageSize
+	if cap(c.undoMem) < need {
+		c.undoMem = make([]byte, need)
+	}
+	c.undoMem = c.undoMem[:need]
+	for i, pfn := range dirty {
+		off := i * mem.PageSize
+		if err := c.backup.ReadPhys(uint64(pfn)*mem.PageSize, c.undoMem[off:off+mem.PageSize]); err != nil {
+			return fmt.Errorf("checkpoint: undo capture pfn %d: %w", pfn, err)
+		}
+	}
+	need = len(diskDirty) * vdisk.BlockSize
+	if cap(c.undoDisk) < need {
+		c.undoDisk = make([]byte, need)
+	}
+	c.undoDisk = c.undoDisk[:need]
+	for i, b := range diskDirty {
+		off := i * vdisk.BlockSize
+		if err := c.backupDisk.ReadBlock(int(b), c.undoDisk[off:off+vdisk.BlockSize]); err != nil {
+			return fmt.Errorf("checkpoint: undo capture block %d: %w", b, err)
+		}
+	}
+	return nil
+}
+
+// applyUndo restores the backup pages and blocks saved by captureUndo,
+// reverting a partially applied commit.
+func (c *Checkpointer) applyUndo(dirty, diskDirty []mem.PFN) {
+	for i, pfn := range dirty {
+		off := i * mem.PageSize
+		_ = c.backup.WritePhys(uint64(pfn)*mem.PageSize, c.undoMem[off:off+mem.PageSize])
+	}
+	for i, b := range diskDirty {
+		off := i * vdisk.BlockSize
+		_ = c.backupDisk.WriteBlock(int(b), 0, c.undoDisk[off:off+vdisk.BlockSize])
+	}
+}
+
+// shipRemoteRetry ships dirty pages to the remote backup, retrying
+// transient conduit failures up to maxRemoteRetries times.
+func (c *Checkpointer) shipRemoteRetry(dirty []mem.PFN) error {
+	for retries := 0; ; retries++ {
+		err := c.shipRemote(dirty)
+		if err == nil {
+			return nil
+		}
+		if !fault.IsTransient(err) || retries >= maxRemoteRetries {
+			return err
+		}
+		c.report.RemoteRetries++
+	}
+}
+
+// degradeRemote disables remote replication after a persistent ship
+// failure: the conduit is closed, the remote domain destroyed, and the
+// downgrade recorded, so local security checkpointing continues.
+func (c *Checkpointer) degradeRemote(cause error) {
+	_ = c.remoteConduit.Close()
+	_ = c.hv.DestroyDomain(c.remote.ID())
+	c.remote, c.remoteConduit = nil, nil
+	c.report.RemoteDegraded = true
+	c.report.Warnings = append(c.report.Warnings,
+		fmt.Sprintf("remote replication disabled, continuing local-only: %v", cause))
 }
 
 // copyPremapped copies dirty pages through the startup-time global
 // mappings (Optimizations 1+2).
 func (c *Checkpointer) copyPremapped(dirty []mem.PFN) error {
 	for _, pfn := range dirty {
+		if err := c.hv.Faults().Check(FaultCopyPage); err != nil {
+			return fmt.Errorf("checkpoint: copy pfn %d: %w", pfn, err)
+		}
 		src, err := c.gmPrimary.Page(pfn)
 		if err != nil {
 			return err
@@ -337,8 +505,9 @@ func allBlocks(n int) []mem.PFN {
 	return out
 }
 
-// Close releases the conduit and mappings. The backup domain is left
-// intact for post-mortem use.
+// Close releases the conduits and mappings. The backup domain is left
+// intact for post-mortem use. Both conduits are always closed; their
+// errors, if any, are joined.
 func (c *Checkpointer) Close() error {
 	if c.closed {
 		return nil
@@ -348,13 +517,12 @@ func (c *Checkpointer) Close() error {
 		c.gmPrimary.Unmap()
 		c.gmBackup.Unmap()
 	}
+	var errs []error
 	if c.remoteConduit != nil {
-		if err := c.remoteConduit.Close(); err != nil {
-			return err
-		}
+		errs = append(errs, c.remoteConduit.Close())
 	}
 	if c.conduit != nil {
-		return c.conduit.Close()
+		errs = append(errs, c.conduit.Close())
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/cost"
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/guestos"
 	"repro/internal/hv"
 	"repro/internal/mem"
@@ -83,6 +84,14 @@ type Config struct {
 	// that size to the guest and checkpoints it alongside memory (the
 	// paper's disk-snapshot extension).
 	DiskBlocks int
+	// MaxRetries bounds per-operation retries of transiently failing
+	// hypervisor and conduit operations within one epoch (default 3;
+	// negative disables retries entirely).
+	MaxRetries int
+	// RetryBackoff is the initial virtual-time delay charged between
+	// retries of a transiently failing operation; it doubles on each
+	// successive retry (default 1 ms).
+	RetryBackoff time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -103,6 +112,14 @@ func (c *Config) setDefaults() {
 	}
 	if c.Deliverer == nil {
 		c.Deliverer = &netbuf.CollectDeliverer{}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
 	}
 }
 
@@ -237,6 +254,50 @@ type EpochResult struct {
 	Incident *Incident
 	// VirtualTime is the controller's clock after this epoch.
 	VirtualTime time.Duration
+	// Recovery describes the fault-recovery actions the controller took
+	// during the epoch (retries, degradations, the unwind path).
+	Recovery Recovery
+}
+
+// Unwind paths a failing epoch can take; see Recovery.Unwind.
+const (
+	// UnwindNone: the epoch needed no unwinding.
+	UnwindNone = ""
+	// UnwindResume: a pre-commit failure; nothing was committed or
+	// released, the harvested dirty pages were merged back, and the
+	// domain resumed — the next epoch re-audits everything.
+	UnwindResume = "resume"
+	// UnwindRollback: a mid-commit failure; the epoch's outputs were
+	// discarded and the VM was rolled back to the last clean checkpoint
+	// and resumed.
+	UnwindRollback = "rollback"
+	// UnwindHalt: an unrecoverable fault; the VM was deliberately
+	// halted and further RunEpoch calls return ErrHalted.
+	UnwindHalt = "halt"
+)
+
+// Recovery reports how the controller recovered from infrastructure
+// faults during one epoch. The zero value means the epoch needed no
+// recovery at all.
+type Recovery struct {
+	// Retries counts transient operation failures that were retried
+	// (including remote-replication ship retries inside the commit).
+	Retries int
+	// Unwind names the unwind path taken when the epoch failed:
+	// UnwindNone, UnwindResume, UnwindRollback, or UnwindHalt.
+	Unwind string
+	// Degradations lists features that were disabled to keep the epoch
+	// alive (e.g. remote replication downgraded to local-only).
+	Degradations []string
+	// Warnings lists non-fatal anomalies (e.g. checkpoint history not
+	// retained this epoch).
+	Warnings []string
+}
+
+// Clean reports whether the epoch completed with no recovery action.
+func (r Recovery) Clean() bool {
+	return r.Retries == 0 && r.Unwind == UnwindNone &&
+		len(r.Degradations) == 0 && len(r.Warnings) == 0
 }
 
 // Incident is a failed audit plus the Analyzer's output.
@@ -300,6 +361,16 @@ type Timeline struct {
 // RunEpoch speculatively executes one epoch of guest work, then runs
 // the audit/commit/respond cycle. After an incident it returns the
 // incident result; further calls return ErrHalted.
+//
+// RunEpoch is transactional with respect to the domain's lifecycle:
+// when it returns an error the domain has always been unwound to a
+// consistent state — resumed with nothing committed (pre-commit
+// failures), rolled back to the last clean checkpoint and resumed
+// (mid-commit failures), or deliberately halted (unrecoverable faults
+// and incident-response failures). Transient failures are retried with
+// bounded virtual-time backoff before any unwind. On error the returned
+// result is non-nil whenever the epoch reached the pause boundary; its
+// Recovery field reports the retries, degradations, and unwind path.
 func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, error) {
 	if c.halted {
 		return nil, ErrHalted
@@ -316,15 +387,20 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	}
 	c.virtualNow += c.cfg.EpochInterval
 
-	// Pause at the epoch boundary.
-	if err := c.dom.Pause(); err != nil {
-		return nil, err
+	// Pause at the epoch boundary. Until Pause succeeds the domain is
+	// still Running, so a pause failure needs no unwind.
+	if err := c.retryOp(res, c.dom.Pause); err != nil {
+		res.VirtualTime = c.virtualNow
+		return res, fmt.Errorf("core: epoch %d pause: %w", c.epoch, err)
 	}
-	if err := c.dom.Suspend(); err != nil {
-		return nil, err
+	// From here until Resume the domain is stopped: every early return
+	// must take an unwind path that leaves it Running again (or
+	// deliberately halted) — never silently stranded in Suspended.
+	if err := c.retryOp(res, c.dom.Suspend); err != nil {
+		return res, c.unwindResume(res, false, fmt.Errorf("core: epoch %d suspend: %w", c.epoch, err))
 	}
-	if err := c.dom.HarvestDirty(c.dirty); err != nil {
-		return nil, err
+	if err := c.retryOp(res, func() error { return c.dom.HarvestDirty(c.dirty) }); err != nil {
+		return res, c.unwindResume(res, false, fmt.Errorf("core: epoch %d harvest: %w", c.epoch, err))
 	}
 
 	scanCounts := &detect.ScanCounts{}
@@ -336,14 +412,21 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			Packets: c.buf.PendingPackets(), DiskWrites: c.buf.PendingDisks(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: epoch %d audit: %w", c.epoch, err)
+			// Pre-commit audit failure: nothing was committed and no
+			// output released. Resume with the harvested dirty pages
+			// merged back into the domain's log so the next epoch's
+			// audit and checkpoint still cover them.
+			return res, c.unwindResume(res, true, fmt.Errorf("core: epoch %d audit: %w", c.epoch, err))
 		}
 	}
 
 	if len(findings) > 0 {
 		inc, err := c.respond(findings, scanCounts)
 		if err != nil {
-			return nil, err
+			// The incident-response machinery itself failed. With
+			// evidence of an attack in hand the VM must not resume on a
+			// best-effort basis: quarantine it deliberately.
+			return res, c.haltDomain(res, fmt.Errorf("core: epoch %d respond: %w", c.epoch, err))
 		}
 		res.Findings = findings
 		res.Incident = inc
@@ -353,21 +436,37 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	}
 
 	// Audit passed (or deferred): commit the epoch.
-	counts, err := c.ckpt.CheckpointBitmap(c.dirty)
-	if err != nil {
-		return nil, err
+	var counts cost.Counts
+	err := c.retryOp(res, func() error {
+		var cerr error
+		counts, cerr = c.ckpt.CheckpointBitmap(c.dirty)
+		return cerr
+	})
+	rep := c.ckpt.LastReport()
+	res.Recovery.Retries += rep.RemoteRetries
+	if rep.RemoteDegraded {
+		res.Recovery.Degradations = append(res.Recovery.Degradations, rep.Warnings...)
 	}
-	counts.VMINodes = scanCounts.NodesWalked
-	counts.Canaries = scanCounts.CanariesChecked
+	if err != nil {
+		// Mid-commit failure: the checkpointer's undo log has restored
+		// the backup to the last clean checkpoint; roll the primary
+		// back to it and resume.
+		return res, c.unwindRollback(res, fmt.Errorf("core: epoch %d commit: %w", c.epoch, err))
+	}
 	c.buf.Release()
 	c.lastState = c.guest.CloneState()
 	if c.cfg.HistoryDepth > 0 {
 		if err := c.retainHistory(); err != nil {
-			return nil, err
+			// History is a forensic nicety, not the safety invariant:
+			// degrade with a warning instead of stranding the domain.
+			res.Recovery.Warnings = append(res.Recovery.Warnings,
+				fmt.Sprintf("checkpoint history not retained: %v", err))
 		}
 	}
-	if err := c.dom.Resume(); err != nil {
-		return nil, err
+	if err := c.retryOp(res, c.dom.Resume); err != nil {
+		// The epoch committed but the domain cannot return to
+		// execution: quarantine it deliberately.
+		return res, c.haltDomain(res, fmt.Errorf("core: epoch %d resume: %w", c.epoch, err))
 	}
 
 	// Asynchronous audits inspect the checkpoint just committed while
@@ -377,23 +476,31 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			VMI: c.vmiBackup, Counts: scanCounts,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: epoch %d async audit: %w", c.epoch, err)
+			// The commit stands and the VM is already Running; the
+			// deferred audit simply failed. Report without unwinding.
+			res.VirtualTime = c.virtualNow
+			return res, fmt.Errorf("core: epoch %d async audit: %w", c.epoch, err)
 		}
 		res.Findings = findings
 		if len(findings) > 0 {
 			// Too late to withhold outputs; still halt and report.
-			if err := c.dom.Pause(); err != nil {
-				return nil, err
+			if err := c.retryOp(res, c.dom.Pause); err != nil {
+				return res, c.haltDomain(res, fmt.Errorf("core: epoch %d async pause: %w", c.epoch, err))
 			}
 			inc, err := c.respondAsync(findings)
 			if err != nil {
-				return nil, err
+				return res, c.haltDomain(res, fmt.Errorf("core: epoch %d async respond: %w", c.epoch, err))
 			}
 			res.Incident = inc
 			c.halted = true
 		}
 	}
 
+	// Fold the scan counters in only now: in async mode the deferred
+	// audit above contributes this epoch's VMI node and canary counts,
+	// so capturing them before the scan would lose them.
+	counts.VMINodes = scanCounts.NodesWalked
+	counts.Canaries = scanCounts.CanariesChecked
 	res.Counts = counts
 	res.Phases = c.cfg.Model.Checkpoint(c.cfg.Opt, counts)
 	if c.cfg.Scan == ScanAsync {
@@ -404,6 +511,78 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	c.virtualNow += res.Phases.Total()
 	res.VirtualTime = c.virtualNow
 	return res, nil
+}
+
+// retryOp runs op, retrying transient failures with exponential
+// virtual-time backoff up to cfg.MaxRetries times. Fatal failures and
+// exhausted budgets return the last error.
+func (c *Controller) retryOp(res *EpochResult, op func() error) error {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.cfg.MaxRetries || !fault.IsTransient(err) {
+			return err
+		}
+		res.Recovery.Retries++
+		c.virtualNow += backoff
+		backoff *= 2
+	}
+}
+
+// unwindResume returns a stopped domain to execution after a pre-commit
+// failure. Nothing was committed or released; when remerge is set the
+// harvested dirty bitmap is merged back into the domain's dirty log so
+// the next checkpoint still covers the failed epoch's pages. If even
+// the unwind fails, the domain is deliberately halted.
+func (c *Controller) unwindResume(res *EpochResult, remerge bool, cause error) error {
+	res.Recovery.Unwind = UnwindResume
+	if remerge {
+		if err := c.dom.MergeDirty(c.dirty); err != nil {
+			return c.haltDomain(res, errors.Join(cause, err))
+		}
+	}
+	if err := c.retryOp(res, c.dom.Resume); err != nil {
+		return c.haltDomain(res, errors.Join(cause, err))
+	}
+	res.VirtualTime = c.virtualNow
+	return cause
+}
+
+// unwindRollback responds to a mid-commit failure: the epoch's buffered
+// outputs are discarded (their epoch will never commit), the primary is
+// rolled back to the last clean checkpoint — which the checkpointer's
+// undo log guarantees the backup still holds — and the domain resumes
+// from there. If the rollback itself fails, the domain is deliberately
+// halted.
+func (c *Controller) unwindRollback(res *EpochResult, cause error) error {
+	res.Recovery.Unwind = UnwindRollback
+	c.buf.Discard()
+	if err := c.retryOp(res, c.ckpt.Rollback); err != nil {
+		return c.haltDomain(res, errors.Join(cause, err))
+	}
+	c.guest.RestoreState(c.lastState)
+	// Price the rollback as the incident path does: a full-VM memcpy.
+	c.virtualNow += time.Duration(c.cfg.Model.MemcpyByteNs * float64(c.dom.MemBytes()))
+	if err := c.retryOp(res, c.dom.Resume); err != nil {
+		return c.haltDomain(res, errors.Join(cause, err))
+	}
+	res.VirtualTime = c.virtualNow
+	return cause
+}
+
+// haltDomain deliberately quarantines the VM after an unrecoverable
+// fault: the domain stays stopped where it is, the halt is recorded in
+// the result, and all further RunEpoch calls return ErrHalted.
+func (c *Controller) haltDomain(res *EpochResult, cause error) error {
+	c.halted = true
+	res.Recovery.Unwind = UnwindHalt
+	res.Recovery.Warnings = append(res.Recovery.Warnings,
+		fmt.Sprintf("VM deliberately halted after unrecoverable fault: %v", cause))
+	res.VirtualTime = c.virtualNow
+	return fmt.Errorf("core: epoch %d: VM halted after unrecoverable fault: %w", c.epoch, cause)
 }
 
 func (c *Controller) retainHistory() error {

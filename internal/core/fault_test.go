@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/mem"
+	"repro/internal/netbuf"
+	"repro/internal/remus"
+	"repro/internal/vdisk"
+)
+
+// newFaultController builds a controller on a hypervisor with an armed
+// (but initially empty) fault injector. The machine is sized for an
+// optional remote backup domain.
+func newFaultController(t *testing.T, cfg Config) (*Controller, *fault.Injector, *netbuf.CollectDeliverer) {
+	t.Helper()
+	h := hv.New(4*guestPages + 64)
+	inj := fault.NewInjector()
+	h.InjectFaults(inj)
+	dom, err := h.CreateDomain("guest", guestPages)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Profile: guestos.LinuxProfile(), Seed: 7})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	out := &netbuf.CollectDeliverer{}
+	cfg.Deliverer = out
+	ctl, err := New(h, g, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = ctl.Close() })
+	return ctl, inj, out
+}
+
+// TestFaultInjectedEpochs drives RunEpoch into every instrumented
+// failure site and asserts the transactional guarantee: after any
+// injected fault the domain is Running again (recovered or degraded) or
+// deliberately halted with the halt reported, and the next RunEpoch
+// behaves correctly.
+func TestFaultInjectedEpochs(t *testing.T) {
+	cases := []struct {
+		name      string
+		site      string
+		transient bool
+		disk      bool // attach a virtual disk
+		history   bool // retain checkpoint history
+		remote    bool // enable remote replication
+
+		wantErr     bool
+		wantUnwind  string
+		wantHalt    bool
+		wantRetries bool
+		wantDegrade bool
+		wantWarn    bool
+	}{
+		{name: "pause-fatal", site: hv.FaultPause, wantErr: true, wantUnwind: UnwindNone},
+		{name: "pause-transient", site: hv.FaultPause, transient: true, wantRetries: true},
+		{name: "suspend-fatal", site: hv.FaultSuspend, wantErr: true, wantUnwind: UnwindResume},
+		{name: "suspend-transient", site: hv.FaultSuspend, transient: true, wantRetries: true},
+		{name: "harvest-fatal", site: hv.FaultHarvestDirty, wantErr: true, wantUnwind: UnwindResume},
+		{name: "memory-copy-fatal", site: checkpoint.FaultCopyPage, wantErr: true, wantUnwind: UnwindRollback},
+		{name: "disk-copy-fatal", site: vdisk.FaultCopy, disk: true, wantErr: true, wantUnwind: UnwindRollback},
+		{name: "resume-fatal", site: hv.FaultResume, wantErr: true, wantUnwind: UnwindHalt, wantHalt: true},
+		{name: "resume-transient", site: hv.FaultResume, transient: true, wantRetries: true},
+		{name: "history-dump-fatal", site: hv.FaultDump, history: true, wantWarn: true},
+		{name: "remote-send-fatal", site: remus.FaultSend, remote: true, wantDegrade: true},
+		{name: "remote-send-transient", site: remus.FaultSend, remote: true, transient: true, wantRetries: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				EpochInterval: 20 * time.Millisecond,
+				Modules:       defaultModules(),
+			}
+			if tc.disk {
+				cfg.DiskBlocks = 16
+			}
+			if tc.history {
+				cfg.HistoryDepth = 2
+			}
+			ctl, inj, _ := newFaultController(t, cfg)
+			if tc.remote {
+				if err := ctl.Checkpointer().EnableRemoteReplication([]byte("0123456789abcdef")); err != nil {
+					t.Fatalf("EnableRemoteReplication: %v", err)
+				}
+			}
+
+			var pid uint32
+			var bufVA uint64
+			work := func(g *guestos.Guest) error {
+				if pid == 0 {
+					var err error
+					if pid, err = g.StartProcess("app", 0, 8); err != nil {
+						return err
+					}
+					if bufVA, err = g.Malloc(pid, 4*mem.PageSize); err != nil {
+						return err
+					}
+				}
+				// Dirty a few pages so every epoch's commit copies work.
+				for i := 0; i < 4; i++ {
+					if err := g.WriteUser(pid, bufVA+uint64(i*mem.PageSize), []byte{0xAB}); err != nil {
+						return err
+					}
+				}
+				if tc.disk {
+					if err := g.WriteBlock(pid, 1, 0, []byte{0xBE}); err != nil {
+						return err
+					}
+				}
+				return g.SendPacket(pid, [4]byte{10, 0, 0, 1}, 80, []byte("out"))
+			}
+
+			// Epoch 1: clean, establishes a committed checkpoint.
+			if _, err := ctl.RunEpoch(work); err != nil {
+				t.Fatalf("clean epoch: %v", err)
+			}
+
+			// Epoch 2: the injected fault.
+			inj.FailNext(tc.site, 1, tc.transient)
+			res, err := ctl.RunEpoch(work)
+			if inj.Tripped(tc.site) == 0 {
+				t.Fatalf("fault at %s never fired", tc.site)
+			}
+
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("epoch with fatal fault at %s succeeded", tc.site)
+				}
+				if !fault.IsInjected(err) {
+					t.Fatalf("error lost the injected sentinel: %v", err)
+				}
+				if res == nil {
+					t.Fatal("no result returned alongside the epoch error")
+				}
+				if res.Recovery.Unwind != tc.wantUnwind {
+					t.Fatalf("Unwind = %q, want %q (err: %v)", res.Recovery.Unwind, tc.wantUnwind, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("epoch with recoverable fault at %s failed: %v", tc.site, err)
+				}
+				if tc.wantRetries && res.Recovery.Retries == 0 {
+					t.Fatalf("no retries recorded for transient fault; rec=%+v rep=%+v calls=%d tripped=%d",
+						res.Recovery, ctl.Checkpointer().LastReport(), inj.Calls(tc.site), inj.Tripped(tc.site))
+				}
+				if tc.wantDegrade {
+					if len(res.Recovery.Degradations) == 0 {
+						t.Fatalf("no degradation recorded: %+v", res.Recovery)
+					}
+					if ctl.Checkpointer().Remote() != nil {
+						t.Fatal("remote replication still enabled after degradation")
+					}
+				}
+				if tc.wantWarn && len(res.Recovery.Warnings) == 0 {
+					t.Fatalf("no warning recorded: %+v", res.Recovery)
+				}
+			}
+
+			// The core invariant: never a silently stranded domain.
+			state := ctl.Guest().Domain().State()
+			if tc.wantHalt {
+				if !ctl.Halted() {
+					t.Fatal("controller not halted after unrecoverable fault")
+				}
+				if state == hv.StateRunning {
+					t.Fatal("domain running despite deliberate halt")
+				}
+				if _, err := ctl.RunEpoch(nil); !errors.Is(err, ErrHalted) {
+					t.Fatalf("RunEpoch after halt: %v, want ErrHalted", err)
+				}
+				return
+			}
+			if ctl.Halted() {
+				t.Fatal("controller halted after recoverable fault")
+			}
+			if state != hv.StateRunning {
+				t.Fatalf("domain stranded in state %v after %s fault", state, tc.site)
+			}
+
+			// Epoch 3: the follow-up epoch must run cleanly.
+			res, err = ctl.RunEpoch(work)
+			if err != nil {
+				t.Fatalf("follow-up epoch after %s fault: %v", tc.site, err)
+			}
+			if res.Incident != nil {
+				t.Fatalf("follow-up epoch raised a spurious incident: %+v", res.Findings)
+			}
+			if !res.Recovery.Clean() {
+				t.Fatalf("follow-up epoch needed recovery: %+v", res.Recovery)
+			}
+		})
+	}
+}
+
+// flakyModule fails its first scans, then behaves.
+type flakyModule struct{ fails int }
+
+func (m *flakyModule) Name() string { return "flaky" }
+func (m *flakyModule) Scan(*detect.ScanContext) ([]detect.Finding, error) {
+	if m.fails > 0 {
+		m.fails--
+		return nil, errors.New("scanner crashed")
+	}
+	return nil, nil
+}
+
+// TestScanErrorResumesAndPreservesDirtyPages covers the paused-domain
+// leak: a detector error used to strand the domain Suspended and every
+// later call failed with hv.ErrBadState. Now the epoch unwinds — the
+// domain resumes, the harvested dirty pages are merged back so the next
+// checkpoint covers them, and the buffered outputs stay withheld until
+// an epoch passes its audit.
+func TestScanErrorResumesAndPreservesDirtyPages(t *testing.T) {
+	ctl, _, out := newFaultController(t, Config{
+		EpochInterval: 20 * time.Millisecond,
+		Modules:       []detect.Module{&flakyModule{fails: 1}},
+	})
+	var pid uint32
+	res, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		var err error
+		if pid, err = g.StartProcess("app", 0, 8); err != nil {
+			return err
+		}
+		return g.SendPacket(pid, [4]byte{10, 0, 0, 1}, 80, []byte("held"))
+	})
+	if err == nil {
+		t.Fatal("scan error did not fail the epoch")
+	}
+	if res.Recovery.Unwind != UnwindResume {
+		t.Fatalf("Unwind = %q, want %q", res.Recovery.Unwind, UnwindResume)
+	}
+	if st := ctl.Guest().Domain().State(); st != hv.StateRunning {
+		t.Fatalf("domain stranded in state %v after scan error", st)
+	}
+	if pks, _ := out.Snapshot(); len(pks) != 0 {
+		t.Fatal("outputs released despite failed audit")
+	}
+
+	// The next epoch re-audits and commits everything, including the
+	// failed epoch's pages and withheld packet.
+	res, err = ctl.RunEpoch(nil)
+	if err != nil {
+		t.Fatalf("epoch after scan error: %v", err)
+	}
+	if res.Counts.DirtyPages == 0 {
+		t.Fatal("failed epoch's dirty pages lost: nothing recommitted")
+	}
+	pks, _ := out.Snapshot()
+	if len(pks) != 1 || string(pks[0].Payload) != "held" {
+		t.Fatalf("withheld packet not released after clean audit: %+v", pks)
+	}
+}
+
+// TestAsyncScanCountsAccounted covers the lost-accounting bug: in async
+// mode the VMI node and canary counts were captured before the deferred
+// scan ran, so every epoch reported zero audit work.
+func TestAsyncScanCountsAccounted(t *testing.T) {
+	ctl, _, _ := newFaultController(t, Config{
+		Scan:    ScanAsync,
+		Modules: defaultModules(),
+	})
+	res, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		_, err := g.StartProcess("app", 0, 4)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	if res.Counts.VMINodes == 0 {
+		t.Fatal("async audit's VMI node count not accounted")
+	}
+}
+
+// TestRollbackRecommitsEverything: after a mid-commit fault the primary
+// is rolled back to the last clean checkpoint; the next epoch must
+// resynchronize fully.
+func TestRollbackRecommitsEverything(t *testing.T) {
+	ctl, inj, _ := newFaultController(t, Config{
+		EpochInterval: 20 * time.Millisecond,
+		Modules:       defaultModules(),
+	})
+	var pid uint32
+	var bufVA uint64
+	if _, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		var err error
+		if pid, err = g.StartProcess("app", 0, 8); err != nil {
+			return err
+		}
+		bufVA, err = g.Malloc(pid, 4*mem.PageSize)
+		return err
+	}); err != nil {
+		t.Fatalf("clean epoch: %v", err)
+	}
+	// Fail the commit a few pages in, so the undo log has work to do.
+	inj.Fail(checkpoint.FaultCopyPage, inj.Calls(checkpoint.FaultCopyPage)+3, 1, false)
+	res, err := ctl.RunEpoch(func(g *guestos.Guest) error {
+		for i := 0; i < 4; i++ {
+			if err := g.WriteUser(pid, bufVA+uint64(i*mem.PageSize), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mid-commit fault did not fail the epoch")
+	}
+	if res.Recovery.Unwind != UnwindRollback {
+		t.Fatalf("Unwind = %q, want %q", res.Recovery.Unwind, UnwindRollback)
+	}
+	// Rollback marked the whole VM dirty: the next commit is a full
+	// resync, proving primary and backup re-converge.
+	res, err = ctl.RunEpoch(nil)
+	if err != nil {
+		t.Fatalf("epoch after rollback: %v", err)
+	}
+	if res.Counts.DirtyPages != guestPages {
+		t.Fatalf("post-rollback commit covered %d pages, want full resync %d", res.Counts.DirtyPages, guestPages)
+	}
+}
+
+// TestRetryBudgetExhaustion: a transient fault that persists past
+// MaxRetries is treated as fatal and unwinds.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	ctl, inj, _ := newFaultController(t, Config{
+		EpochInterval: 20 * time.Millisecond,
+		Modules:       defaultModules(),
+		MaxRetries:    2,
+	})
+	if _, err := ctl.RunEpoch(nil); err != nil {
+		t.Fatalf("clean epoch: %v", err)
+	}
+	// 3 transient failures > 2 retries: the op fails for good.
+	inj.FailNext(hv.FaultSuspend, 3, true)
+	res, err := ctl.RunEpoch(nil)
+	if err == nil {
+		t.Fatal("epoch succeeded despite exhausted retry budget")
+	}
+	if res.Recovery.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", res.Recovery.Retries)
+	}
+	if res.Recovery.Unwind != UnwindResume {
+		t.Fatalf("Unwind = %q, want %q", res.Recovery.Unwind, UnwindResume)
+	}
+	if st := ctl.Guest().Domain().State(); st != hv.StateRunning {
+		t.Fatalf("domain stranded in state %v", st)
+	}
+	if _, err := ctl.RunEpoch(nil); err != nil {
+		t.Fatalf("follow-up epoch: %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package fault provides deterministic fault injection for the
+// hypervisor substrate and an error taxonomy separating transient from
+// fatal failures. An Injector is armed with per-site schedules ("fail
+// the Nth map hypercall", "fail conduit sends 4 through 6 transiently")
+// and instrumented operations consult it before executing. The CRIMES
+// controller uses the taxonomy to decide between bounded retry
+// (transient) and unwinding to a consistent state (fatal), and the test
+// suite uses the injector to prove that no error path strands a domain
+// in a paused state.
+//
+// Sites are plain strings, conventionally "<package>.<operation>"
+// (e.g. "hv.map", "remus.send", "vdisk.copy"); each instrumented
+// package exports constants for its sites.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so
+// callers can distinguish injected faults from organic ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Error is an injected failure at a specific occurrence of a site.
+type Error struct {
+	// Site is the instrumented operation that failed.
+	Site string
+	// N is the 1-based occurrence of the operation that failed.
+	N int
+	// IsTransient marks failures that are expected to succeed when the
+	// operation is retried (e.g. a dropped conduit packet), as opposed
+	// to fatal failures (e.g. a destroyed backup domain).
+	IsTransient bool
+}
+
+// Error renders the injected failure.
+func (e *Error) Error() string {
+	kind := "fatal"
+	if e.IsTransient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("%s failure injected at %s (occurrence %d): %v", kind, e.Site, e.N, ErrInjected)
+}
+
+// Unwrap exposes the ErrInjected sentinel.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// transientError marks an arbitrary error as transient (retryable).
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// MarkTransient wraps err so IsTransient reports true for it. It is the
+// hook for organic (non-injected) errors that are known to be
+// retryable.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is a transient failure that a caller
+// may retry with bounded backoff. Fatal failures — everything else —
+// require unwinding instead.
+func IsTransient(err error) bool {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.IsTransient
+	}
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// IsInjected reports whether err originated from an Injector.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// plan schedules failures for occurrences in [from, to] of one site.
+type plan struct {
+	from, to  int
+	transient bool
+}
+
+type site struct {
+	calls   int
+	tripped int
+	plans   []plan
+}
+
+// Injector deterministically fails scheduled occurrences of named
+// operations. The zero value and the nil injector are inert: Check
+// always returns nil. An Injector is safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	sites map[string]*site
+}
+
+// NewInjector returns an empty (inert) injector.
+func NewInjector() *Injector {
+	return &Injector{sites: make(map[string]*site)}
+}
+
+func (in *Injector) site(name string) *site {
+	if in.sites == nil {
+		in.sites = make(map[string]*site)
+	}
+	s, ok := in.sites[name]
+	if !ok {
+		s = &site{}
+		in.sites[name] = s
+	}
+	return s
+}
+
+// Fail schedules occurrences n through n+times-1 (1-based, counted from
+// the injector's creation or last Reset) of the named site to fail.
+// Transient failures succeed once the schedule is exhausted; fatal ones
+// model permanently broken infrastructure at that occurrence.
+func (in *Injector) Fail(name string, n, times int, transient bool) {
+	if in == nil || n < 1 || times < 1 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(name)
+	s.plans = append(s.plans, plan{from: n, to: n + times - 1, transient: transient})
+}
+
+// FailNth schedules a single fatal failure at the Nth occurrence of the
+// named site.
+func (in *Injector) FailNth(name string, n int) { in.Fail(name, n, 1, false) }
+
+// FailNext schedules a failure at the next occurrence of the named
+// site, given the current call count (use Calls to obtain it).
+func (in *Injector) FailNext(name string, times int, transient bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	s := in.site(name)
+	n := s.calls + 1
+	s.plans = append(s.plans, plan{from: n, to: n + times - 1, transient: transient})
+	in.mu.Unlock()
+}
+
+// Check records one occurrence of the named site and returns an *Error
+// if a failure is scheduled for it. Instrumented operations call it
+// before mutating any state, so an injected failure never leaves the
+// operation half applied. A nil injector always returns nil.
+func (in *Injector) Check(name string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.site(name)
+	s.calls++
+	for _, p := range s.plans {
+		if s.calls >= p.from && s.calls <= p.to {
+			s.tripped++
+			return &Error{Site: name, N: s.calls, IsTransient: p.transient}
+		}
+	}
+	return nil
+}
+
+// Calls reports how many times the named site has been checked.
+func (in *Injector) Calls(name string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.site(name).calls
+}
+
+// Tripped reports how many failures have been injected at the named
+// site.
+func (in *Injector) Tripped(name string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.site(name).tripped
+}
+
+// Reset clears all schedules and counters.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.sites = make(map[string]*site)
+	in.mu.Unlock()
+}

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check("hv.map"); err != nil {
+		t.Fatalf("nil injector Check = %v", err)
+	}
+	in.Fail("hv.map", 1, 1, false)
+	in.FailNext("hv.map", 1, true)
+	in.Reset()
+	if in.Calls("hv.map") != 0 || in.Tripped("hv.map") != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+func TestFailNthOccurrence(t *testing.T) {
+	in := NewInjector()
+	in.FailNth("hv.map", 3)
+	for i := 1; i <= 5; i++ {
+		err := in.Check("hv.map")
+		if i == 3 {
+			if err == nil {
+				t.Fatal("occurrence 3 did not fail")
+			}
+			if IsTransient(err) {
+				t.Fatal("FailNth produced a transient error")
+			}
+			if !IsInjected(err) {
+				t.Fatal("injected error not recognized")
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != "hv.map" || fe.N != 3 {
+				t.Fatalf("error = %+v", fe)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("occurrence %d failed: %v", i, err)
+		}
+	}
+	if in.Calls("hv.map") != 5 || in.Tripped("hv.map") != 1 {
+		t.Fatalf("calls=%d tripped=%d", in.Calls("hv.map"), in.Tripped("hv.map"))
+	}
+}
+
+func TestTransientWindow(t *testing.T) {
+	in := NewInjector()
+	in.Fail("remus.send", 2, 3, true)
+	var failed int
+	for i := 1; i <= 6; i++ {
+		if err := in.Check("remus.send"); err != nil {
+			failed++
+			if !IsTransient(err) {
+				t.Fatalf("occurrence %d: expected transient, got %v", i, err)
+			}
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("failed %d times, want 3", failed)
+	}
+}
+
+func TestFailNextUsesCurrentCount(t *testing.T) {
+	in := NewInjector()
+	for i := 0; i < 7; i++ {
+		if err := in.Check("vdisk.copy"); err != nil {
+			t.Fatalf("unscheduled failure: %v", err)
+		}
+	}
+	in.FailNext("vdisk.copy", 1, false)
+	if err := in.Check("vdisk.copy"); err == nil {
+		t.Fatal("next occurrence did not fail")
+	}
+	if err := in.Check("vdisk.copy"); err != nil {
+		t.Fatalf("occurrence after window failed: %v", err)
+	}
+}
+
+func TestMarkTransient(t *testing.T) {
+	base := errors.New("socket reset")
+	err := MarkTransient(base)
+	if !IsTransient(err) {
+		t.Fatal("marked error not transient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("marked error lost its cause")
+	}
+	if IsInjected(err) {
+		t.Fatal("marked error reported as injected")
+	}
+	wrapped := fmt.Errorf("commit: %w", err)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapping lost transience")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+}
+
+func TestResetClearsSchedules(t *testing.T) {
+	in := NewInjector()
+	in.FailNth("hv.pause", 1)
+	in.Reset()
+	if err := in.Check("hv.pause"); err != nil {
+		t.Fatalf("schedule survived reset: %v", err)
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	in := NewInjector()
+	in.Fail("hv.harvest", 1, 50, true)
+	done := make(chan int)
+	for g := 0; g < 4; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 100; i++ {
+				if in.Check("hv.harvest") != nil {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 4; g++ {
+		total += <-done
+	}
+	if total != 50 {
+		t.Fatalf("tripped %d times, want 50", total)
+	}
+	if in.Calls("hv.harvest") != 400 {
+		t.Fatalf("calls = %d, want 400", in.Calls("hv.harvest"))
+	}
+}

@@ -9,7 +9,22 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
+)
+
+// Fault-injection sites instrumented by this package. Each names one
+// hypercall-granularity operation; an armed fault fires before the
+// operation mutates any state.
+const (
+	FaultPause        = "hv.pause"        // Domain.Pause
+	FaultSuspend      = "hv.suspend"      // Domain.Suspend
+	FaultResume       = "hv.resume"       // Domain.Resume
+	FaultHarvestDirty = "hv.harvest"      // Domain.HarvestDirty
+	FaultMapPage      = "hv.map"          // per-page MapForeign / MapAll
+	FaultDump         = "hv.dump"         // Domain.DumpMemory
+	FaultRestore      = "hv.restore"      // Domain.RestoreMemory
+	FaultCreateDomain = "hv.createdomain" // Hypervisor.CreateDomain
 )
 
 // DomainID identifies a domain on a host.
@@ -113,6 +128,7 @@ type Hypervisor struct {
 	domains map[DomainID]*Domain
 	nextID  DomainID
 	calls   Hypercalls
+	faults  *fault.Injector
 }
 
 // New creates a hypervisor managing the given number of machine frames.
@@ -133,9 +149,24 @@ func (h *Hypervisor) Calls() Hypercalls { return h.calls }
 // ResetCalls zeroes the hypercall counters.
 func (h *Hypervisor) ResetCalls() { h.calls = Hypercalls{} }
 
+// InjectFaults arms a fault injector on the hypervisor. Instrumented
+// operations (and clients that obtain the injector via Faults) consult
+// it before executing. Passing nil disables injection.
+func (h *Hypervisor) InjectFaults(in *fault.Injector) { h.faults = in }
+
+// Faults returns the armed fault injector, or nil. A nil injector is
+// safe to use: its Check method always succeeds.
+func (h *Hypervisor) Faults() *fault.Injector { return h.faults }
+
+// DomainCount reports the number of live domains on the host.
+func (h *Hypervisor) DomainCount() int { return len(h.domains) }
+
 // CreateDomain allocates a domain with the given guest-physical memory
 // size in pages.
 func (h *Hypervisor) CreateDomain(name string, pages int) (*Domain, error) {
+	if err := h.faults.Check(FaultCreateDomain); err != nil {
+		return nil, fmt.Errorf("create domain %q: %w", name, err)
+	}
 	mfns, err := h.machine.AllocN(pages)
 	if err != nil {
 		return nil, fmt.Errorf("create domain %q: %w", name, err)
@@ -230,6 +261,9 @@ func (d *Domain) Pause() error {
 	if d.state != StateRunning {
 		return fmt.Errorf("pause domain %d in state %v: %w", d.id, d.state, ErrBadState)
 	}
+	if err := d.hv.faults.Check(FaultPause); err != nil {
+		return fmt.Errorf("pause domain %d: %w", d.id, err)
+	}
 	d.state = StatePaused
 	return nil
 }
@@ -239,6 +273,9 @@ func (d *Domain) Suspend() error {
 	if d.state != StatePaused && d.state != StateRunning {
 		return fmt.Errorf("suspend domain %d in state %v: %w", d.id, d.state, ErrBadState)
 	}
+	if err := d.hv.faults.Check(FaultSuspend); err != nil {
+		return fmt.Errorf("suspend domain %d: %w", d.id, err)
+	}
 	d.state = StateSuspended
 	return nil
 }
@@ -247,6 +284,9 @@ func (d *Domain) Suspend() error {
 func (d *Domain) Resume() error {
 	if d.state != StatePaused && d.state != StateSuspended {
 		return fmt.Errorf("resume domain %d in state %v: %w", d.id, d.state, ErrBadState)
+	}
+	if err := d.hv.faults.Check(FaultResume); err != nil {
+		return fmt.Errorf("resume domain %d: %w", d.id, err)
 	}
 	d.state = StateRunning
 	return nil
@@ -331,11 +371,25 @@ func (d *Domain) DisableDirtyLogging() { d.dirtyLogging = false }
 // HarvestDirty copies the current dirty bitmap into dst and clears the
 // log, counting one dirty-read hypercall. dst must cover Pages() bits.
 func (d *Domain) HarvestDirty(dst *mem.Bitmap) error {
+	if err := d.hv.faults.Check(FaultHarvestDirty); err != nil {
+		return fmt.Errorf("harvest dirty for domain %d: %w", d.id, err)
+	}
 	d.hv.calls.DirtyRead++
 	if err := dst.CopyFrom(d.dirty); err != nil {
 		return fmt.Errorf("harvest dirty for domain %d: %w", d.id, err)
 	}
 	d.dirty.ClearAll()
+	return nil
+}
+
+// MergeDirty ORs a previously harvested bitmap back into the domain's
+// dirty log. The controller uses it to undo a HarvestDirty when the
+// epoch that consumed the bitmap fails before committing, so the next
+// checkpoint still covers those pages.
+func (d *Domain) MergeDirty(src *mem.Bitmap) error {
+	if err := d.dirty.Or(src); err != nil {
+		return fmt.Errorf("merge dirty for domain %d: %w", d.id, err)
+	}
 	return nil
 }
 

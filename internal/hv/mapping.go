@@ -23,6 +23,9 @@ func (h *Hypervisor) MapForeign(d *Domain, pfns []mem.PFN) (*ForeignMapping, err
 		if uint64(pfn) >= uint64(len(d.physmap)) {
 			return nil, fmt.Errorf("map foreign pfn %d: %w", pfn, ErrBadAddress)
 		}
+		if err := h.faults.Check(FaultMapPage); err != nil {
+			return nil, fmt.Errorf("map foreign pfn %d: %w", pfn, err)
+		}
 		frame, err := h.machine.Frame(d.physmap[pfn])
 		if err != nil {
 			return nil, fmt.Errorf("map foreign pfn %d: %w", pfn, err)
@@ -64,6 +67,9 @@ type GlobalMapping struct {
 func (h *Hypervisor) MapAll(d *Domain) (*GlobalMapping, error) {
 	gm := &GlobalMapping{dom: d, frames: make([][]byte, len(d.physmap))}
 	for pfn, mfn := range d.physmap {
+		if err := h.faults.Check(FaultMapPage); err != nil {
+			return nil, fmt.Errorf("map all pfn %d: %w", pfn, err)
+		}
 		frame, err := h.machine.Frame(mfn)
 		if err != nil {
 			return nil, fmt.Errorf("map all pfn %d: %w", pfn, err)

@@ -20,6 +20,9 @@ func (d *Domain) DumpMemory() (*Snapshot, error) {
 	if d.state == StateDestroyed {
 		return nil, fmt.Errorf("dump domain %d: %w", d.id, ErrBadState)
 	}
+	if err := d.hv.faults.Check(FaultDump); err != nil {
+		return nil, fmt.Errorf("dump domain %d: %w", d.id, err)
+	}
 	s := &Snapshot{
 		Name:  d.name,
 		Pages: len(d.physmap),
@@ -42,6 +45,9 @@ func (d *Domain) RestoreMemory(s *Snapshot) error {
 	if s.Pages != len(d.physmap) {
 		return fmt.Errorf("restore domain %d: snapshot has %d pages, domain has %d",
 			d.id, s.Pages, len(d.physmap))
+	}
+	if err := d.hv.faults.Check(FaultRestore); err != nil {
+		return fmt.Errorf("restore domain %d: %w", d.id, err)
 	}
 	for pfn, mfn := range d.physmap {
 		frame, err := d.hv.machine.Frame(mfn)

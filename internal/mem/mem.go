@@ -211,6 +211,18 @@ func (b *Bitmap) ScanWords(dst []PFN) []PFN {
 	return dst
 }
 
+// Or sets every bit that is set in src. The bitmaps must be the same
+// length.
+func (b *Bitmap) Or(src *Bitmap) error {
+	if b.nbits != src.nbits {
+		return fmt.Errorf("mem: or bitmap: length mismatch %d != %d", b.nbits, src.nbits)
+	}
+	for i, w := range src.words {
+		b.words[i] |= w
+	}
+	return nil
+}
+
 // CopyFrom replaces this bitmap's contents with src's. The bitmaps must
 // be the same length.
 func (b *Bitmap) CopyFrom(src *Bitmap) error {

@@ -24,6 +24,17 @@ import (
 // ErrClosed is returned when sending on a closed conduit.
 var ErrClosed = errors.New("remus: conduit closed")
 
+// Fault-injection sites instrumented by this package. Both consult the
+// hypervisor's armed injector (hv.Hypervisor.InjectFaults).
+const (
+	// FaultConduitNew fails conduit construction (the moral equivalent
+	// of the ssh tunnel to the restore host refusing the connection).
+	FaultConduitNew = "remus.conduit"
+	// FaultSend fails a checkpoint send before any bytes are written,
+	// leaving the conduit usable for a retry.
+	FaultSend = "remus.send"
+)
+
 const ackByte = 0xA5
 
 // Conduit is a replication channel from a primary VM to a backup
@@ -46,6 +57,9 @@ type Conduit struct {
 // NewConduit starts a restore process for the backup domain and returns
 // the primary-side channel. key must be 16, 24 or 32 bytes (AES).
 func NewConduit(h *hv.Hypervisor, backup *hv.Domain, key []byte) (*Conduit, error) {
+	if err := h.Faults().Check(FaultConduitNew); err != nil {
+		return nil, fmt.Errorf("remus: connect: %w", err)
+	}
 	encBlock, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("remus: cipher: %w", err)
@@ -79,6 +93,9 @@ func (c *Conduit) SendCheckpoint(pfns []mem.PFN, page func(mem.PFN) ([]byte, err
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
+	}
+	if err := c.hv.Faults().Check(FaultSend); err != nil {
+		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}
 	// writev-style: gather the whole batch into one buffer, encrypt,
 	// and write it in a single call.

@@ -11,11 +11,16 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 )
 
 // BlockSize is the virtual disk's block size in bytes.
 const BlockSize = 4096
+
+// FaultCopy is the fault-injection site for block replication: an armed
+// fault fails CopyBlocksTo before any block is copied.
+const FaultCopy = "vdisk.copy"
 
 var (
 	// ErrBadBlock is returned for out-of-range block accesses.
@@ -31,6 +36,7 @@ type Disk struct {
 	dirty        *mem.Bitmap
 	dirtyLogging bool
 	writes       uint64
+	faults       *fault.Injector
 }
 
 // New creates a zeroed disk with the given number of blocks.
@@ -47,6 +53,13 @@ func New(blocks int) *Disk {
 
 // Blocks reports the disk size in blocks.
 func (d *Disk) Blocks() int { return len(d.blocks) }
+
+// InjectFaults arms a fault injector on the disk (mirroring the
+// hypervisor's hook). Passing nil disables injection.
+func (d *Disk) InjectFaults(in *fault.Injector) { d.faults = in }
+
+// Faults returns the armed fault injector, or nil.
+func (d *Disk) Faults() *fault.Injector { return d.faults }
 
 // Writes reports the cumulative number of block writes.
 func (d *Disk) Writes() uint64 { return d.writes }
@@ -100,11 +113,24 @@ func (d *Disk) HarvestDirty(dst []mem.PFN) []mem.PFN {
 	return dst
 }
 
+// MarkDirty re-marks the given blocks dirty — the undo of a
+// HarvestDirty whose consumer failed before replicating the blocks.
+func (d *Disk) MarkDirty(blocks []mem.PFN) {
+	for _, b := range blocks {
+		if uint64(b) < uint64(d.dirty.Len()) {
+			d.dirty.Set(int(b))
+		}
+	}
+}
+
 // CopyBlocksTo propagates the given blocks to another disk of the same
 // size (the checkpoint commit path).
 func (d *Disk) CopyBlocksTo(dst *Disk, blocks []mem.PFN) error {
 	if dst.Blocks() != d.Blocks() {
 		return fmt.Errorf("vdisk: copy to %d-block disk from %d: %w", dst.Blocks(), d.Blocks(), ErrSizeMismatch)
+	}
+	if err := d.faults.Check(FaultCopy); err != nil {
+		return fmt.Errorf("vdisk: copy %d blocks: %w", len(blocks), err)
 	}
 	for _, b := range blocks {
 		if uint64(b) >= uint64(len(d.blocks)) {
