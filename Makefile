@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test verify verify-quick bench pause-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification: static analysis plus the race detector over the
+# whole tree (the parallel pause path runs real worker pools).
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short race pass over just the packages with real concurrency: the
+# sharded checkpoint copy, the concurrent detector scan, and the
+# controller that drives both.
+verify-quick:
+	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Regenerate the machine-readable parallel pause-path benchmark.
+pause-json:
+	$(GO) run ./cmd/crimes-bench -pause-json BENCH_pause.json

@@ -25,9 +25,10 @@ func main() {
 
 func run() error {
 	var (
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		exp    = flag.String("exp", "", "run a single experiment by ID")
-		csvDir = flag.String("csv", "", "also write <id>.csv files for plottable figures into this directory")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		exp       = flag.String("exp", "", "run a single experiment by ID")
+		csvDir    = flag.String("csv", "", "also write <id>.csv files for plottable figures into this directory")
+		pauseJSON = flag.String("pause-json", "", "write the parallel pause-path benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -35,6 +36,17 @@ func run() error {
 		for _, e := range experiments.All() {
 			fmt.Println(e.ID)
 		}
+		return nil
+	}
+	if *pauseJSON != "" {
+		out, err := experiments.PauseBreakdownJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*pauseJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *pauseJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *pauseJSON)
 		return nil
 	}
 	if *exp != "" {

@@ -46,6 +46,7 @@ func run() error {
 		pot        = flag.Bool("honeypot", false, "after an incident, convert the VM into a monitored honeypot")
 		modules    = flag.String("modules", "default", "comma-separated detector modules (see -modules list)")
 		faultSpec  = flag.String("fault", "", "inject a fault: site:N[:transient] fails the Nth call at site (e.g. hv.suspend:2, remus.send:1:transient)")
+		workers    = flag.Int("workers", 0, "pause-path worker pool size (0 = GOMAXPROCS, 1 = exact serial path)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func run() error {
 		EpochInterval:    *interval,
 		ReplayOnIncident: true,
 		Modules:          mods,
+		Workers:          *workers,
 	}
 	if *bestEffort {
 		cfg.Safety = crimes.BestEffort
@@ -110,6 +112,7 @@ func run() error {
 		}
 		fmt.Printf("epoch %2d: dirty=%5d pages, pause=%8v, findings=%d\n",
 			res.Epoch, res.Counts.DirtyPages, res.Phases.Total().Round(time.Microsecond), len(res.Findings))
+		reportCommit(res.Commit)
 		reportRecovery(res.Recovery)
 		if res.Incident != nil {
 			fmt.Printf("\nINCIDENT at epoch %d; %d buffered outputs discarded\n",
@@ -152,6 +155,24 @@ func parseFault(spec string) (*crimes.FaultInjector, error) {
 	inj := &crimes.FaultInjector{}
 	inj.Fail(parts[0], n, 1, transient)
 	return inj, nil
+}
+
+// reportCommit prints the commit's measured parallel phase timings and
+// the pipelined remote-replication window state. The serial path (one
+// worker, no remote activity) prints nothing, keeping the default
+// output identical to previous releases.
+func reportCommit(rep crimes.CommitReport) {
+	t := rep.Timings
+	if t.Workers > 1 {
+		fmt.Printf("  parallel: workers=%d scan=%v undo=%v memcpy=%v diskcopy=%v ship=%v\n",
+			t.Workers,
+			t.Scan.Round(time.Microsecond), t.Undo.Round(time.Microsecond),
+			t.MemCopy.Round(time.Microsecond), t.DiskCopy.Round(time.Microsecond),
+			t.RemoteShip.Round(time.Microsecond))
+	}
+	if rep.RemoteInFlight > 0 || rep.RemoteAcked > 0 {
+		fmt.Printf("  remote: in-flight=%d acked=%d\n", rep.RemoteInFlight, rep.RemoteAcked)
+	}
 }
 
 // reportRecovery prints any retries, degradations, or unwinds an epoch

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/analyze"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/detect"
@@ -61,6 +62,10 @@ type (
 	// Recovery reports the retries, degradations, and unwind path an
 	// epoch needed (zero value: no recovery at all).
 	Recovery = core.Recovery
+	// CommitReport describes one checkpoint commit: recovery events,
+	// measured parallel phase timings, and the pipelined remote-
+	// replication window state.
+	CommitReport = checkpoint.CommitReport
 	// FaultInjector deterministically fails the Nth occurrence of a
 	// named hypercall, conduit, or disk operation (testing and chaos
 	// experiments).

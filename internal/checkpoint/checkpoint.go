@@ -15,6 +15,9 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/fault"
@@ -36,6 +39,13 @@ const FaultCopyPage = "checkpoint.copypage"
 // remote checkpoint ships before replication degrades to local-only.
 const maxRemoteRetries = 3
 
+// maxShipsInFlight bounds the pipelined remote-replication window: at
+// most this many checkpoints may be enqueued behind the resumed guest
+// awaiting the remote backup's acknowledgement. When the window is
+// full the next commit blocks until the oldest shipment drains, so an
+// unreachable remote applies backpressure instead of unbounded queueing.
+const maxShipsInFlight = 2
+
 // Checkpointer keeps a backup domain synchronized with a primary by
 // copying dirty pages at every epoch boundary. The backup is always the
 // most recent clean snapshot (the paper keeps it on the local host for
@@ -46,8 +56,21 @@ type Checkpointer struct {
 	backup  *hv.Domain
 	opt     cost.Optimization
 
+	// workers is the pause-path parallelism: the dirty-bitmap scan,
+	// undo capture, and page copy shard across this many goroutines
+	// over disjoint PFN ranges, the disk-block copy overlaps the memory
+	// copy, and remote replication is pipelined out of the pause window
+	// entirely. workers == 1 is the exact serial path.
+	workers int
+
 	dirty   *mem.Bitmap
 	scratch []mem.PFN
+
+	// Cached full-range index slices, built lazily: Rollback and the
+	// initial remote sync need "every page" / "every block" lists and
+	// must not reallocate them on every call.
+	allPages    []mem.PFN
+	allDiskBlks []mem.PFN
 
 	// Premap/Full: global mappings built once.
 	gmPrimary *hv.GlobalMapping
@@ -70,6 +93,17 @@ type Checkpointer struct {
 	remote        *hv.Domain
 	remoteConduit *remus.Conduit
 
+	// Pipelined remote shipping (workers > 1): the ship is
+	// availability-only, so it leaves the pause window — committed page
+	// data is snapshotted from the backup and handed to a shipper
+	// goroutine, acks drain at the next epoch boundary, and a bounded
+	// in-flight window applies backpressure.
+	shipCh   chan shipment
+	shipRes  chan shipResult
+	shipDone chan struct{}
+	inFlight int
+	shipErr  error
+
 	// Undo log: the backup pages/blocks about to be overwritten by the
 	// current commit, captured so a mid-commit failure can be unwound
 	// and the backup stays a consistent snapshot of an audited epoch.
@@ -80,17 +114,50 @@ type Checkpointer struct {
 	closed bool
 }
 
-// CommitReport describes the recovery events of the most recent
-// checkpoint commit attempt.
+// CommitReport describes the recovery events and measured phase
+// timings of the most recent checkpoint commit attempt.
 type CommitReport struct {
 	// RemoteRetries counts transient remote-ship failures retried
-	// during the commit.
+	// during the commit (including retries inside the pipelined
+	// shipper, folded in when its result drains).
 	RemoteRetries int
 	// RemoteDegraded is true when remote replication was disabled
 	// during the commit after a persistent failure.
 	RemoteDegraded bool
 	// Warnings records non-fatal anomalies, such as the degradation.
 	Warnings []string
+	// Timings are the real wall-clock durations of the commit's phases.
+	Timings PhaseTimings
+	// RemoteInFlight is the number of pipelined remote shipments still
+	// awaiting acknowledgement when the commit returned.
+	RemoteInFlight int
+	// RemoteAcked counts pipelined shipments whose acknowledgements
+	// drained during this commit (at the epoch boundary or under
+	// window backpressure).
+	RemoteAcked int
+}
+
+// PhaseTimings is the measured wall-clock breakdown of one commit's
+// pause-path phases. Virtual-time pricing lives in internal/cost; these
+// are the substrate's real timings, surfaced so the parallel speedup is
+// observable per epoch.
+type PhaseTimings struct {
+	// Workers is the parallelism the commit ran with.
+	Workers int
+	// Scan is the dirty-bitmap scan.
+	Scan time.Duration
+	// Undo is the undo-log capture (backup pages/blocks about to be
+	// overwritten).
+	Undo time.Duration
+	// MemCopy is the dirty-page copy into the backup domain.
+	MemCopy time.Duration
+	// DiskCopy is the dirty-block copy into the backup disk; with
+	// workers > 1 it overlaps MemCopy.
+	DiskCopy time.Duration
+	// RemoteShip is the remote-replication time spent inside the
+	// commit: the full encrypted round trip when serial, only the
+	// snapshot/enqueue (plus any window backpressure) when pipelined.
+	RemoteShip time.Duration
 }
 
 // LastReport returns the recovery report of the most recent commit
@@ -100,7 +167,20 @@ func (c *Checkpointer) LastReport() CommitReport { return c.report }
 // New creates a checkpointer for the primary domain at the given
 // optimization level, allocates the backup domain (doubling the VM's
 // memory cost, §3.3), and performs the initial full synchronization.
+// The pause path is serial; NewWithWorkers parallelizes it.
 func New(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization) (*Checkpointer, error) {
+	return NewWithWorkers(h, primary, opt, 1)
+}
+
+// NewWithWorkers is New with a parallel pause path: scan, undo capture,
+// and page copy shard across the given number of workers, the disk copy
+// overlaps the memory copy, and remote replication (when enabled) is
+// pipelined out of the pause window. workers <= 1 is the exact serial
+// path, byte-for-byte and fault-for-fault identical to New's.
+func NewWithWorkers(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization, workers int) (*Checkpointer, error) {
+	if workers < 1 {
+		workers = 1
+	}
 	backup, err := h.CreateDomain(primary.Name()+"-backup", primary.Pages())
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create backup: %w", err)
@@ -110,6 +190,7 @@ func New(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization) (*Checkpoi
 		primary: primary,
 		backup:  backup,
 		opt:     opt,
+		workers: workers,
 		dirty:   mem.NewBitmap(primary.Pages()),
 		scratch: make([]mem.PFN, 0, primary.Pages()),
 	}
@@ -200,12 +281,9 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 	}
 	c.remote = remote
 	c.remoteConduit = conduit
-	// Initial full sync of the remote.
-	all := make([]mem.PFN, c.primary.Pages())
-	for i := range all {
-		all[i] = mem.PFN(i)
-	}
-	if err := c.shipRemote(all); err != nil {
+	// Initial full sync of the remote (always synchronous: replication
+	// is not active until the remote holds a complete snapshot).
+	if err := c.shipRemote(c.allPFNs()); err != nil {
 		// Unwind completely: replication never became active.
 		_ = conduit.Close()
 		_ = c.hv.DestroyDomain(remote.ID())
@@ -237,6 +315,76 @@ func (c *Checkpointer) Primary() *hv.Domain { return c.primary }
 // Optimization returns the active optimization level.
 func (c *Checkpointer) Optimization() cost.Optimization { return c.opt }
 
+// Workers returns the pause-path parallelism.
+func (c *Checkpointer) Workers() int { return c.workers }
+
+// allPFNs returns the cached every-page index slice, building it on
+// first use.
+func (c *Checkpointer) allPFNs() []mem.PFN {
+	if c.allPages == nil {
+		c.allPages = make([]mem.PFN, c.primary.Pages())
+		for i := range c.allPages {
+			c.allPages[i] = mem.PFN(i)
+		}
+	}
+	return c.allPages
+}
+
+// allBlocks returns the cached every-block index slice for the attached
+// disk, building it on first use.
+func (c *Checkpointer) allBlocks() []mem.PFN {
+	if c.allDiskBlks == nil {
+		c.allDiskBlks = make([]mem.PFN, c.disk.Blocks())
+		for i := range c.allDiskBlks {
+			c.allDiskBlks[i] = mem.PFN(i)
+		}
+	}
+	return c.allDiskBlks
+}
+
+// runSharded splits n items into at most c.workers contiguous shards
+// and runs fn(lo, hi) over each shard concurrently. Shards are disjoint
+// index ranges, so workers never alias pages. The returned error is the
+// lowest-indexed shard's, making the reported failure deterministic
+// regardless of scheduling. With one worker (or one item) fn runs
+// inline — the exact serial path.
+func (c *Checkpointer) runSharded(n int, fn func(lo, hi int) error) error {
+	w := c.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n == 0 {
+			return nil
+		}
+		return fn(0, n)
+	}
+	errs := make([]error, w)
+	per := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := i*per, (i+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = fn(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Checkpoint propagates the pages dirtied since the previous checkpoint
 // into the backup domain and returns the real operation counts for cost
 // accounting. The caller is responsible for pausing the primary first.
@@ -264,14 +412,35 @@ func (c *Checkpointer) CheckpointBitmap(dirty *mem.Bitmap) (cost.Counts, error) 
 }
 
 func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
-	c.report = CommitReport{}
+	c.report = CommitReport{Timings: PhaseTimings{Workers: c.workers}}
 
-	// Dirty bitmap scan: the Full level uses the word-granularity scan.
+	// Epoch boundary: drain acknowledgements of previously pipelined
+	// remote shipments without blocking; a persistent ship failure
+	// surfaces here and degrades replication to local-only before this
+	// commit does any remote work.
+	if c.shipCh != nil {
+		c.drainShipResults(false)
+		if c.shipErr != nil {
+			err := c.shipErr
+			c.shipErr = nil
+			c.stopShipper()
+			c.degradeRemote(err)
+		}
+	}
+
+	// Dirty bitmap scan: the Full level uses the word-granularity scan,
+	// sharded across the worker pool for large bitmaps.
+	scanStart := time.Now()
 	if c.opt >= cost.Full {
-		c.scratch = c.dirty.ScanWords(c.scratch[:0])
+		if c.workers > 1 {
+			c.scratch = c.dirty.ScanWordsParallel(c.scratch[:0], c.workers)
+		} else {
+			c.scratch = c.dirty.ScanWords(c.scratch[:0])
+		}
 	} else {
 		c.scratch = c.dirty.ScanBits(c.scratch[:0])
 	}
+	c.report.Timings.Scan = time.Since(scanStart)
 	dirty := c.scratch
 
 	// Harvest the disk's dirty blocks up front so the undo log covers
@@ -307,58 +476,117 @@ func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 		remark()
 		return cost.Counts{}, err
 	}
+	// The undo-log invariant under concurrency: undo capture COMPLETES
+	// — across every shard, for memory and disk — before any copy
+	// worker writes a byte into the backup. A worker failing mid-commit
+	// therefore always finds a complete undo log to restore from.
+	undoStart := time.Now()
 	if err := c.captureUndo(dirty, diskDirty); err != nil {
 		// Nothing was modified yet; just restore the dirty logs.
 		remark()
 		return cost.Counts{}, err
 	}
+	c.report.Timings.Undo = time.Since(undoStart)
 
-	var err error
-	switch {
-	case c.opt >= cost.Premap:
-		err = c.copyPremapped(dirty)
-	case c.opt == cost.Memcpy:
-		err = c.copyMapped(dirty)
-	default:
-		err = c.copySocket(dirty)
+	// Copy phase: pages shard across the worker pool; the disk-block
+	// copy is independent of the memory copy (disjoint storage), so
+	// with workers > 1 it runs concurrently with it. The memory copy's
+	// error takes precedence, matching the serial path's report; either
+	// failure unwinds both via the undo log.
+	var memErr, diskErr error
+	var diskTime time.Duration
+	memStart := time.Now()
+	if c.disk != nil && c.workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			diskStart := time.Now()
+			diskErr = c.disk.CopyBlocksTo(c.backupDisk, diskDirty)
+			diskTime = time.Since(diskStart)
+		}()
+		memErr = c.copyMemory(dirty)
+		c.report.Timings.MemCopy = time.Since(memStart)
+		wg.Wait()
+	} else {
+		memErr = c.copyMemory(dirty)
+		c.report.Timings.MemCopy = time.Since(memStart)
+		if memErr == nil && c.disk != nil {
+			diskStart := time.Now()
+			diskErr = c.disk.CopyBlocksTo(c.backupDisk, diskDirty)
+			diskTime = time.Since(diskStart)
+		}
 	}
-	if err != nil {
-		return fail(err)
+	c.report.Timings.DiskCopy = diskTime
+	if memErr != nil {
+		return fail(memErr)
+	}
+	if diskErr != nil {
+		return fail(diskErr)
 	}
 	if c.disk != nil {
-		if err := c.disk.CopyBlocksTo(c.backupDisk, diskDirty); err != nil {
-			return fail(err)
-		}
 		counts.DiskBlocks = len(diskDirty)
 		counts.BytesCopied += len(diskDirty) * vdisk.BlockSize
 	}
 	if c.remote != nil {
 		// Remote replication is an availability add-on (§4.1): it must
-		// never fail the security-critical local commit. Transient
-		// failures are retried; a persistent failure downgrades the
-		// checkpointer to local-only with a recorded warning.
-		if err := c.shipRemoteRetry(dirty); err != nil {
-			c.degradeRemote(err)
+		// never fail the security-critical local commit. Serial mode
+		// ships inside the commit (transient failures retried, a
+		// persistent failure downgrades to local-only); parallel mode
+		// pipelines the ship behind the resumed guest and only pays the
+		// committed-page snapshot plus any window backpressure here.
+		shipStart := time.Now()
+		if c.workers > 1 {
+			if c.enqueueShipment(dirty) {
+				counts.RemotePages = len(dirty)
+			}
 		} else {
-			counts.RemotePages = len(dirty)
+			if err := c.shipRemoteRetry(dirty); err != nil {
+				c.degradeRemote(err)
+			} else {
+				counts.RemotePages = len(dirty)
+			}
 		}
+		c.report.Timings.RemoteShip = time.Since(shipStart)
 	}
+	c.report.RemoteInFlight = c.inFlight
 	return counts, nil
 }
 
+// copyMemory dispatches to the optimization level's page-copy path.
+func (c *Checkpointer) copyMemory(dirty []mem.PFN) error {
+	switch {
+	case c.opt >= cost.Premap:
+		return c.copyPremapped(dirty)
+	case c.opt == cost.Memcpy:
+		return c.copyMapped(dirty)
+	default:
+		return c.copySocket(dirty)
+	}
+}
+
 // captureUndo saves the backup pages and disk blocks the commit is
-// about to overwrite into reusable scratch buffers.
+// about to overwrite into reusable scratch buffers. The page loop
+// shards across the worker pool: each worker reads a disjoint PFN range
+// into a disjoint region of the undo buffer. Capture is complete for
+// every shard before the caller starts any copy worker.
 func (c *Checkpointer) captureUndo(dirty, diskDirty []mem.PFN) error {
 	need := len(dirty) * mem.PageSize
 	if cap(c.undoMem) < need {
 		c.undoMem = make([]byte, need)
 	}
 	c.undoMem = c.undoMem[:need]
-	for i, pfn := range dirty {
-		off := i * mem.PageSize
-		if err := c.backup.ReadPhys(uint64(pfn)*mem.PageSize, c.undoMem[off:off+mem.PageSize]); err != nil {
-			return fmt.Errorf("checkpoint: undo capture pfn %d: %w", pfn, err)
+	if err := c.runSharded(len(dirty), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			pfn := dirty[i]
+			off := i * mem.PageSize
+			if err := c.backup.ReadPhys(uint64(pfn)*mem.PageSize, c.undoMem[off:off+mem.PageSize]); err != nil {
+				return fmt.Errorf("checkpoint: undo capture pfn %d: %w", pfn, err)
+			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	need = len(diskDirty) * vdisk.BlockSize
 	if cap(c.undoDisk) < need {
@@ -404,7 +632,8 @@ func (c *Checkpointer) shipRemoteRetry(dirty []mem.PFN) error {
 
 // degradeRemote disables remote replication after a persistent ship
 // failure: the conduit is closed, the remote domain destroyed, and the
-// downgrade recorded, so local security checkpointing continues.
+// downgrade recorded, so local security checkpointing continues. In
+// pipelined mode the caller stops the shipper first.
 func (c *Checkpointer) degradeRemote(cause error) {
 	_ = c.remoteConduit.Close()
 	_ = c.hv.DestroyDomain(c.remote.ID())
@@ -414,28 +643,185 @@ func (c *Checkpointer) degradeRemote(cause error) {
 		fmt.Sprintf("remote replication disabled, continuing local-only: %v", cause))
 }
 
-// copyPremapped copies dirty pages through the startup-time global
-// mappings (Optimizations 1+2).
-func (c *Checkpointer) copyPremapped(dirty []mem.PFN) error {
-	for _, pfn := range dirty {
-		if err := c.hv.Faults().Check(FaultCopyPage); err != nil {
-			return fmt.Errorf("checkpoint: copy pfn %d: %w", pfn, err)
-		}
-		src, err := c.gmPrimary.Page(pfn)
-		if err != nil {
-			return err
-		}
-		dst, err := c.gmBackup.Page(pfn)
-		if err != nil {
-			return err
-		}
-		copy(dst, src)
-	}
-	return nil
+// shipment is one committed checkpoint queued for pipelined remote
+// replication: the dirty PFNs plus a snapshot of their committed
+// contents, taken from the backup domain so the resumed (and again
+// mutating) primary cannot tear the data mid-ship.
+type shipment struct {
+	pfns []mem.PFN
+	data []byte // len(pfns) * mem.PageSize
 }
 
-// copyMapped maps the dirty pages of both VMs for this epoch only, then
-// copies (Optimization 1 alone).
+// shipResult is the shipper goroutine's outcome for one shipment.
+type shipResult struct {
+	err     error
+	retries int
+}
+
+// enqueueShipment snapshots the committed pages from the backup and
+// hands them to the shipper goroutine, blocking only when the in-flight
+// window is full. It reports whether the shipment was enqueued; false
+// means replication degraded while draining the window.
+func (c *Checkpointer) enqueueShipment(dirty []mem.PFN) bool {
+	if c.shipCh == nil {
+		c.shipCh = make(chan shipment, maxShipsInFlight)
+		c.shipRes = make(chan shipResult, maxShipsInFlight+1)
+		c.shipDone = make(chan struct{})
+		go c.shipper(c.remoteConduit, c.shipCh, c.shipRes, c.shipDone)
+	}
+	if c.inFlight >= maxShipsInFlight {
+		// Window backpressure: wait for the oldest shipment to drain.
+		c.drainShipResults(true)
+		if c.shipErr != nil {
+			err := c.shipErr
+			c.shipErr = nil
+			c.stopShipper()
+			c.degradeRemote(err)
+			return false
+		}
+	}
+	// The PFN list must be snapshotted along with the data: dirty
+	// aliases the checkpointer's reusable scratch slice, which the next
+	// epoch's scan overwrites while this shipment may still be in flight.
+	s := shipment{pfns: append([]mem.PFN(nil), dirty...), data: make([]byte, len(dirty)*mem.PageSize)}
+	// Snapshot through the worker pool: the backup is immutable until
+	// the next commit, and shards write disjoint regions.
+	if err := c.runSharded(len(dirty), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			off := i * mem.PageSize
+			if err := c.backup.ReadPhys(uint64(dirty[i])*mem.PageSize, s.data[off:off+mem.PageSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		// Snapshot failure is local, not a conduit failure; degrade the
+		// same way rather than fail the already-committed epoch.
+		c.stopShipper()
+		c.degradeRemote(fmt.Errorf("checkpoint: snapshot for remote ship: %w", err))
+		return false
+	}
+	c.shipCh <- s
+	c.inFlight++
+	return true
+}
+
+// shipper is the pipelined replication goroutine: it serializes,
+// encrypts, and sends each queued shipment and waits for the backup's
+// acknowledgement, overlapping all of it with the resumed guest's
+// execution. Transient conduit failures are retried in place; the
+// result (error and retry count) is reported for the committing
+// goroutine to drain at the next epoch boundary.
+func (c *Checkpointer) shipper(conduit *remus.Conduit, in <-chan shipment, out chan<- shipResult, done chan<- struct{}) {
+	defer close(done)
+	for s := range in {
+		var res shipResult
+		for {
+			err := shipSnapshot(conduit, s)
+			if err == nil {
+				break
+			}
+			if !fault.IsTransient(err) || res.retries >= maxRemoteRetries {
+				res.err = err
+				break
+			}
+			res.retries++
+		}
+		out <- res
+	}
+}
+
+// shipSnapshot sends one snapshotted shipment over the conduit and
+// waits for its ack.
+func shipSnapshot(conduit *remus.Conduit, s shipment) error {
+	if err := conduit.Send(s.pfns, func(pfn mem.PFN) ([]byte, error) {
+		i := sort.Search(len(s.pfns), func(i int) bool { return s.pfns[i] >= pfn })
+		if i >= len(s.pfns) || s.pfns[i] != pfn {
+			return nil, fmt.Errorf("checkpoint: shipment missing pfn %d", pfn)
+		}
+		return s.data[i*mem.PageSize : (i+1)*mem.PageSize], nil
+	}); err != nil {
+		return err
+	}
+	return conduit.AwaitAck()
+}
+
+// drainShipResults folds completed shipper results into the report.
+// With block set it waits for at least one outstanding result; it then
+// keeps consuming whatever has already completed without blocking. The
+// first persistent failure is parked in c.shipErr for the caller to
+// turn into a degradation.
+func (c *Checkpointer) drainShipResults(block bool) {
+	for c.inFlight > 0 {
+		if block {
+			res := <-c.shipRes
+			c.noteShipResult(res)
+			block = false
+			continue
+		}
+		select {
+		case res := <-c.shipRes:
+			c.noteShipResult(res)
+		default:
+			return
+		}
+	}
+}
+
+func (c *Checkpointer) noteShipResult(res shipResult) {
+	c.inFlight--
+	c.report.RemoteRetries += res.retries
+	if res.err != nil {
+		if c.shipErr == nil {
+			c.shipErr = res.err
+		}
+		return
+	}
+	c.report.RemoteAcked++
+}
+
+// stopShipper shuts the pipelined shipper down, draining every
+// outstanding acknowledgement first (shipRes is buffered to the window
+// size, so the shipper never blocks after its input closes).
+func (c *Checkpointer) stopShipper() {
+	if c.shipCh == nil {
+		return
+	}
+	close(c.shipCh)
+	for c.inFlight > 0 {
+		c.noteShipResult(<-c.shipRes)
+	}
+	<-c.shipDone
+	c.shipCh, c.shipRes, c.shipDone = nil, nil, nil
+}
+
+// copyPremapped copies dirty pages through the startup-time global
+// mappings (Optimizations 1+2), sharded across the worker pool over
+// disjoint PFN ranges — pages are independent, so workers never alias.
+func (c *Checkpointer) copyPremapped(dirty []mem.PFN) error {
+	return c.runSharded(len(dirty), func(lo, hi int) error {
+		for _, pfn := range dirty[lo:hi] {
+			if err := c.hv.Faults().Check(FaultCopyPage); err != nil {
+				return fmt.Errorf("checkpoint: copy pfn %d: %w", pfn, err)
+			}
+			src, err := c.gmPrimary.Page(pfn)
+			if err != nil {
+				return err
+			}
+			dst, err := c.gmBackup.Page(pfn)
+			if err != nil {
+				return err
+			}
+			copy(dst, src)
+		}
+		return nil
+	})
+}
+
+// copyMapped maps the dirty pages of both VMs for this epoch only
+// (serially: mapping is a hypercall path), then copies with the worker
+// pool (Optimization 1 alone). The mappings are read-only during the
+// sharded copy, so concurrent Page lookups are safe.
 func (c *Checkpointer) copyMapped(dirty []mem.PFN) error {
 	fmP, err := c.hv.MapForeign(c.primary, dirty)
 	if err != nil {
@@ -447,18 +833,20 @@ func (c *Checkpointer) copyMapped(dirty []mem.PFN) error {
 		return err
 	}
 	defer fmB.Unmap()
-	for _, pfn := range dirty {
-		src, err := fmP.Page(pfn)
-		if err != nil {
-			return err
+	return c.runSharded(len(dirty), func(lo, hi int) error {
+		for _, pfn := range dirty[lo:hi] {
+			src, err := fmP.Page(pfn)
+			if err != nil {
+				return err
+			}
+			dst, err := fmB.Page(pfn)
+			if err != nil {
+				return err
+			}
+			copy(dst, src)
 		}
-		dst, err := fmB.Page(pfn)
-		if err != nil {
-			return err
-		}
-		copy(dst, src)
-	}
-	return nil
+		return nil
+	})
 }
 
 // copySocket ships the dirty pages through the encrypted Remus conduit
@@ -486,7 +874,7 @@ func (c *Checkpointer) Rollback() error {
 		return fmt.Errorf("checkpoint: rollback restore: %w", err)
 	}
 	if c.disk != nil {
-		if err := c.backupDisk.CopyBlocksTo(c.disk, allBlocks(c.disk.Blocks())); err != nil {
+		if err := c.backupDisk.CopyBlocksTo(c.disk, c.allBlocks()); err != nil {
 			return fmt.Errorf("checkpoint: rollback disk: %w", err)
 		}
 		c.disk.MarkAllDirty()
@@ -497,22 +885,23 @@ func (c *Checkpointer) Rollback() error {
 	return nil
 }
 
-func allBlocks(n int) []mem.PFN {
-	out := make([]mem.PFN, n)
-	for i := range out {
-		out[i] = mem.PFN(i)
-	}
-	return out
-}
-
 // Close releases the conduits and mappings. The backup domain is left
-// intact for post-mortem use. Both conduits are always closed; their
-// errors, if any, are joined.
+// intact for post-mortem use. Any pipelined remote shipments are drained
+// first so the remote backup converges to the last committed epoch.
+// Both conduits are always closed; their errors, if any, are joined.
 func (c *Checkpointer) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
+	c.stopShipper()
+	if c.shipErr != nil {
+		err := c.shipErr
+		c.shipErr = nil
+		if c.remote != nil {
+			c.degradeRemote(err)
+		}
+	}
 	if c.gmPrimary != nil {
 		c.gmPrimary.Unmap()
 		c.gmBackup.Unmap()

@@ -65,6 +65,15 @@ type Model struct {
 	// AddressSanitizer inline instrumentation: multiplies workload
 	// execution time (paper: +40-60 %). Per-workload factors scale this.
 	ASanBaseFactor float64
+
+	// Parallel pause path. Sharded copy/scan workers obey Amdahl's law:
+	// WorkerSerialFrac is the fraction of each parallelized phase that
+	// stays serial (shard dispatch, cache-line and memory-bus
+	// contention), and WorkerSpawnNs is the per-worker fork/join cost
+	// added to every parallelized phase. Workers=1 bypasses both, so
+	// single-worker pricing is bit-identical to Checkpoint's.
+	WorkerSerialFrac float64
+	WorkerSpawnNs    float64
 }
 
 // Default returns the model calibrated to the paper's reported
@@ -100,6 +109,9 @@ func Default() Model {
 		CheckpointToDiskNs: 30e9,
 
 		ASanBaseFactor: 1.5,
+
+		WorkerSerialFrac: 0.05,
+		WorkerSpawnNs:    2.0e4,
 	}
 }
 
@@ -205,6 +217,50 @@ func (m Model) Checkpoint(opt Optimization, c Counts) Phases {
 		bytes := float64(c.RemotePages) * 4096
 		factor := 1 + bytes/m.SocketSatBytes
 		p.Copy += ns(m.SocketEpochNs + m.SocketByteNs*bytes*factor)
+	}
+	return p
+}
+
+// Speedup is the Amdahl-law speedup the model predicts for a
+// parallelized phase at the given worker count.
+func (m Model) Speedup(workers int) float64 {
+	if workers <= 1 {
+		return 1
+	}
+	return 1 / (m.WorkerSerialFrac + (1-m.WorkerSerialFrac)/float64(workers))
+}
+
+// CheckpointParallel prices one checkpoint executed by a sharded worker
+// pool (the parallel pause path). workers <= 1 delegates to Checkpoint
+// exactly, preserving the paper's Table 1 / Figure 3 / Figure 4 shapes.
+// With workers > 1:
+//
+//   - the copy phase (undo capture + page copy, memcpy paths) and the
+//     Full level's word-granularity bitmap scan are divided by the
+//     Amdahl speedup, plus a per-worker fork/join cost;
+//   - the remote HA ship leaves the pause window entirely: it is
+//     pipelined behind the resumed guest with a bounded in-flight
+//     window, so RemotePages contribute nothing to the pause;
+//   - suspend, resume, per-epoch mapping, and the VMI audit base are
+//     unchanged (module-level audit concurrency is priced separately
+//     by the caller when it knows the module count).
+//
+// The socket copy path (No-opt) is inherently serial and is never
+// scaled.
+func (m Model) CheckpointParallel(opt Optimization, c Counts, workers int) Phases {
+	if workers <= 1 {
+		return m.Checkpoint(opt, c)
+	}
+	local := c
+	local.RemotePages = 0
+	p := m.Checkpoint(opt, local)
+	speedup := m.Speedup(workers)
+	spawn := ns(m.WorkerSpawnNs * float64(workers))
+	if opt >= Full {
+		p.Bitscan = time.Duration(float64(p.Bitscan)/speedup) + spawn
+	}
+	if opt >= Memcpy {
+		p.Copy = time.Duration(float64(p.Copy)/speedup) + spawn
 	}
 	return p
 }

@@ -163,3 +163,43 @@ func TestPremapStartupScalesWithVMSize(t *testing.T) {
 		t.Fatal("premap startup not increasing with pages")
 	}
 }
+
+// TestCheckpointParallelSerialInvariant pins the reproduction
+// guarantee: at one worker (or fewer) the parallel pricing is
+// bit-identical to Checkpoint's, so Table 1 / Figure 3 / Figure 4 are
+// unaffected by the parallel pause path.
+func TestCheckpointParallelSerialInvariant(t *testing.T) {
+	m := Default()
+	counts := Counts{TotalPages: 1 << 18, DirtyPages: 9000, BytesCopied: 9000 * 4096,
+		VMINodes: 12, Canaries: 500, RemotePages: 9000}
+	for _, opt := range []Optimization{NoOpt, Memcpy, Premap, Full} {
+		want := m.Checkpoint(opt, counts)
+		for _, w := range []int{-1, 0, 1} {
+			if got := m.CheckpointParallel(opt, counts, w); got != want {
+				t.Fatalf("%s workers=%d: %+v != serial %+v", opt, w, got, want)
+			}
+		}
+	}
+}
+
+// TestCheckpointParallelSpeedup: on a copy-dominated 64 MiB dirty set
+// the modeled pause shrinks at least 2x from 1 to 4 workers, the
+// Amdahl speedup is monotone, and the remote ship leaves the pause.
+func TestCheckpointParallelSpeedup(t *testing.T) {
+	m := Default()
+	const pages = 16384 // 64 MiB dirty
+	counts := Counts{TotalPages: pages, DirtyPages: pages, BytesCopied: pages * 4096}
+	p1 := m.CheckpointParallel(Full, counts, 1).Total()
+	p4 := m.CheckpointParallel(Full, counts, 4).Total()
+	if ratio := float64(p1) / float64(p4); ratio < 2 {
+		t.Fatalf("4-worker pause speedup = %.2fx, want >= 2x (p1=%v p4=%v)", ratio, p1, p4)
+	}
+	if s2, s4 := m.Speedup(2), m.Speedup(4); !(1 < s2 && s2 < s4) {
+		t.Fatalf("Speedup not monotone: s2=%.2f s4=%.2f", s2, s4)
+	}
+	remote := counts
+	remote.RemotePages = pages
+	if got := m.CheckpointParallel(Full, remote, 4); got != m.CheckpointParallel(Full, counts, 4) {
+		t.Fatal("remote pages still charged inside the parallel pause window")
+	}
+}

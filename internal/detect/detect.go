@@ -8,6 +8,7 @@ package detect
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/guestos"
 	"repro/internal/mem"
@@ -100,22 +101,46 @@ type Module interface {
 // Detector runs a set of modules at each epoch boundary.
 type Detector struct {
 	modules []Module
+	workers int
 }
 
 // NewDetector creates a detector with the given modules.
 func NewDetector(modules ...Module) *Detector {
-	return &Detector{modules: modules}
+	return &Detector{modules: modules, workers: 1}
 }
 
 // Modules returns the registered modules.
 func (d *Detector) Modules() []Module { return d.modules }
 
+// SetWorkers bounds how many modules Scan runs concurrently. Values
+// below 1 are treated as 1 (the serial scan).
+func (d *Detector) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.workers = n
+}
+
+// Workers reports the configured scan concurrency.
+func (d *Detector) Workers() int { return d.workers }
+
 // Scan runs every module and aggregates findings. A module error aborts
-// the audit (failing safe: the epoch is not committed).
+// the audit (failing safe: the epoch is not committed). With more than
+// one worker configured, modules run concurrently over the paused —
+// therefore immutable — guest memory, each through its own fork of the
+// VMI context; findings, errors, and work counters are merged in module
+// registration order, so the result is identical to the serial scan's.
 func (d *Detector) Scan(ctx *ScanContext) ([]Finding, error) {
 	if ctx.Counts == nil {
 		ctx.Counts = &ScanCounts{}
 	}
+	if d.workers <= 1 || len(d.modules) <= 1 {
+		return d.scanSerial(ctx)
+	}
+	return d.scanParallel(ctx)
+}
+
+func (d *Detector) scanSerial(ctx *ScanContext) ([]Finding, error) {
 	var all []Finding
 	for _, m := range d.modules {
 		before := ctx.VMI.Stats()
@@ -126,6 +151,58 @@ func (d *Detector) Scan(ctx *ScanContext) ([]Finding, error) {
 		after := ctx.VMI.Stats()
 		ctx.Counts.NodesWalked += after.NodesWalked - before.NodesWalked
 		all = append(all, fs...)
+	}
+	return all, nil
+}
+
+func (d *Detector) scanParallel(ctx *ScanContext) ([]Finding, error) {
+	var (
+		findings = make([][]Finding, len(d.modules))
+		errs     = make([]error, len(d.modules))
+		counts   = make([]ScanCounts, len(d.modules))
+		forks    = make([]*vmi.Context, len(d.modules))
+		sem      = make(chan struct{}, d.workers)
+		wg       sync.WaitGroup
+	)
+	for i, m := range d.modules {
+		wg.Add(1)
+		go func(i int, m Module) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fork := ctx.VMI.Fork()
+			forks[i] = fork
+			sub := &ScanContext{
+				VMI:        fork,
+				Dirty:      ctx.Dirty,
+				Counts:     &counts[i],
+				Packets:    ctx.Packets,
+				DiskWrites: ctx.DiskWrites,
+			}
+			fs, err := m.Scan(sub)
+			if err != nil {
+				errs[i] = fmt.Errorf("detect: module %s: %w", m.Name(), err)
+				return
+			}
+			counts[i].NodesWalked += fork.Stats().NodesWalked
+			findings[i] = fs
+		}(i, m)
+	}
+	wg.Wait()
+	// Merge in registration order: the first registered module's error
+	// wins, counters merge up to that module exactly as the serial scan
+	// would have accumulated them, and the findings slice is identical
+	// to the serial scan's.
+	var all []Finding
+	for i := range d.modules {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		ctx.VMI.AddStats(forks[i].Stats())
+		ctx.Counts.NodesWalked += counts[i].NodesWalked
+		ctx.Counts.CanariesChecked += counts[i].CanariesChecked
+		ctx.Counts.OutputBytes += counts[i].OutputBytes
+		all = append(all, findings[i]...)
 	}
 	return all, nil
 }

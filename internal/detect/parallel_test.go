@@ -1,0 +1,95 @@
+package detect
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/guestos"
+)
+
+// TestConcurrentScanMatchesSerial asserts the parallel detector is
+// observably identical to the serial one: same findings in the same
+// order, same work counters, same VMI stats folded back.
+func TestConcurrentScanMatchesSerial(t *testing.T) {
+	setup := func(t *testing.T) *ScanContext {
+		g, sc := newScanEnv(t, guestos.LinuxProfile())
+		pid, _ := g.StartProcess("victim", 0, 8)
+		va, _ := g.Malloc(pid, 16)
+		_ = g.WriteUser(pid, va, bytes.Repeat([]byte{1}, 32))
+		_ = g.HijackSyscall(5, 0xbad)
+		return sc
+	}
+	modules := func() []Module {
+		return []Module{CanaryModule{}, SyscallModule{}, HiddenProcessModule{}, DeepScanModule{}}
+	}
+
+	serial := NewDetector(modules()...)
+	scSerial := setup(t)
+	wantFindings, err := serial.Scan(scSerial)
+	if err != nil {
+		t.Fatalf("serial Scan: %v", err)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		par := NewDetector(modules()...)
+		par.SetWorkers(workers)
+		if par.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", par.Workers(), workers)
+		}
+		scPar := setup(t)
+		got, err := par.Scan(scPar)
+		if err != nil {
+			t.Fatalf("parallel Scan (workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, wantFindings) {
+			t.Fatalf("workers=%d: findings differ\n got: %+v\nwant: %+v", workers, got, wantFindings)
+		}
+		if *scPar.Counts != *scSerial.Counts {
+			t.Fatalf("workers=%d: counts = %+v, want %+v", workers, *scPar.Counts, *scSerial.Counts)
+		}
+		if scPar.VMI.Stats() != scSerial.VMI.Stats() {
+			t.Fatalf("workers=%d: VMI stats = %+v, want %+v", workers, scPar.VMI.Stats(), scSerial.VMI.Stats())
+		}
+	}
+}
+
+// errModule fails every scan.
+type errModule struct{ name string }
+
+func (m errModule) Name() string                         { return m.name }
+func (m errModule) Scan(*ScanContext) ([]Finding, error) { return nil, errors.New("boom") }
+
+// TestConcurrentScanErrorIsDeterministic: with several failing modules
+// scanning concurrently, the reported error is always the first
+// registered module's, exactly as the serial scan reports it.
+func TestConcurrentScanErrorIsDeterministic(t *testing.T) {
+	mods := []Module{CanaryModule{}, errModule{"first-bad"}, errModule{"second-bad"}, SyscallModule{}}
+
+	serial := NewDetector(mods...)
+	scSerial := newScanCtx(t)
+	_, wantErr := serial.Scan(scSerial)
+	if wantErr == nil {
+		t.Fatal("serial Scan did not fail")
+	}
+
+	for i := 0; i < 8; i++ {
+		par := NewDetector(mods...)
+		par.SetWorkers(4)
+		sc := newScanCtx(t)
+		_, err := par.Scan(sc)
+		if err == nil {
+			t.Fatal("parallel Scan did not fail")
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("parallel error %q, want serial's %q", err, wantErr)
+		}
+	}
+}
+
+func newScanCtx(t *testing.T) *ScanContext {
+	t.Helper()
+	_, sc := newScanEnv(t, guestos.LinuxProfile())
+	return sc
+}

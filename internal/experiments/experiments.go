@@ -57,6 +57,7 @@ func All() []struct {
 		{"case2", Case2MalwareReport},
 		{"remus", RemusComparison},
 		{"ablation", AblationSummary},
+		{"pause", PauseParallel},
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
 	}
 	for _, e := range all {
 		if _, err := ByID(e.ID); err != nil {
@@ -220,5 +220,41 @@ func TestAblationSummary(t *testing.T) {
 func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{1, 4}); g < 1.99 || g > 2.01 {
 		t.Fatalf("geomean = %f, want 2", g)
+	}
+}
+
+func TestPauseParallelExperiment(t *testing.T) {
+	text := run(t, "pause")
+	if !strings.Contains(text, "workers") {
+		t.Fatalf("pause experiment missing worker sweep:\n%s", text)
+	}
+	bench, err := PauseBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Points) != 4 || bench.Points[0].Workers != 1 {
+		t.Fatalf("unexpected sweep: %+v", bench.Points)
+	}
+	// The serial row is priced by the exact serial model: it must match
+	// Figure 4's Full row total.
+	spec, err := workload.ParsecByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4Full := pausedTime(cost.Default(), cost.Full, spec, 200*time.Millisecond).Total()
+	if got := bench.Points[0].TotalMs; got != ms(fig4Full) {
+		t.Fatalf("serial pause row %.3f ms != Figure 4 Full total %.3f ms", got, ms(fig4Full))
+	}
+	// Speedup must be monotone and >= 2x by 8 workers.
+	for i := 1; i < len(bench.Points); i++ {
+		if bench.Points[i].SpeedupVs1 <= bench.Points[i-1].SpeedupVs1 {
+			t.Fatalf("speedup not monotone at %d workers", bench.Points[i].Workers)
+		}
+	}
+	if last := bench.Points[len(bench.Points)-1].SpeedupVs1; last < 2 {
+		t.Fatalf("8-worker speedup %.2fx, want >= 2x", last)
+	}
+	if _, err := PauseBreakdownJSON(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 const (
@@ -207,6 +208,66 @@ func (b *Bitmap) ScanWords(dst []PFN) []PFN {
 			dst = append(dst, PFN(i))
 			w &= w - 1
 		}
+	}
+	return dst
+}
+
+// scanParallelMinWords is the bitmap size below which ScanWordsParallel
+// falls back to the serial scan: sharding a small bitmap costs more in
+// goroutine dispatch than the scan itself.
+const scanParallelMinWords = 1024
+
+// ScanWordsParallel is ScanWords sharded across a worker pool for
+// multi-GB dirty bitmaps (the Figure 6b axis: scan cost grows with VM
+// size even when almost every word is zero). The word array is split
+// into contiguous, disjoint shards — one per worker — each scanned
+// independently; shard results are concatenated in shard order, so the
+// returned PFNs are in the same ascending order ScanWords produces.
+// workers <= 1 (or a small bitmap) degrades to the serial scan.
+func (b *Bitmap) ScanWordsParallel(dst []PFN, workers int) []PFN {
+	if workers > len(b.words) {
+		workers = len(b.words)
+	}
+	if workers <= 1 || len(b.words) < scanParallelMinWords {
+		return b.ScanWords(dst)
+	}
+	parts := make([][]PFN, workers)
+	per := (len(b.words) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(b.words) {
+			hi = len(b.words)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []PFN
+			for wi := lo; wi < hi; wi++ {
+				word := b.words[wi]
+				if word == 0 {
+					continue
+				}
+				base := wi << 6
+				for word != 0 {
+					i := base + trailingZeros(word)
+					if i >= b.nbits {
+						break
+					}
+					out = append(out, PFN(i))
+					word &= word - 1
+				}
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		dst = append(dst, part...)
 	}
 	return dst
 }

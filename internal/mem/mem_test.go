@@ -236,3 +236,35 @@ func benchScan(b *testing.B, scan func(*Bitmap, []PFN) []PFN) {
 	}
 	_ = dst
 }
+
+// TestScanWordsParallelMatchesSerial: the sharded scan returns exactly
+// the same PFNs, in the same ascending order, as the serial word scan —
+// for small bitmaps (below the parallel threshold), large randomized
+// ones (beyond 64Ki bits, where real sharding kicks in), and any worker
+// count.
+func TestScanWordsParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sizes := []int{1, 64, 300, 1 << 16, 1<<17 + 77}
+	for _, n := range sizes {
+		b := NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				b.Set(i)
+			}
+		}
+		want := b.ScanWords(nil)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := b.ScanWordsParallel(nil, workers)
+			if !pfnsEqual(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel scan diverged (got %d pfns, want %d)",
+					n, workers, len(got), len(want))
+			}
+		}
+		// Appending to a non-empty dst must preserve the prefix.
+		prefix := []PFN{1234}
+		got := b.ScanWordsParallel(prefix, 4)
+		if len(got) != len(want)+1 || got[0] != 1234 || !pfnsEqual(got[1:], want) {
+			t.Fatalf("n=%d: parallel scan mishandled non-empty dst", n)
+		}
+	}
+}

@@ -48,7 +48,13 @@ type Conduit struct {
 	enc     cipher.Stream
 	sendBuf []byte
 
+	// mu guards the send side (conn, enc, sendBuf, closed); ackMu
+	// serializes ack reads. They are separate so a sender never holds
+	// the conduit lock across the backup's ack round trip: one caller
+	// can encrypt and transmit the next batch while another still waits
+	// for the previous batch's acknowledgement.
 	mu      sync.Mutex
+	ackMu   sync.Mutex
 	closed  bool
 	done    chan struct{}
 	restErr error
@@ -87,8 +93,20 @@ func NewConduit(h *hv.Hypervisor, backup *hv.Domain, key []byte) (*Conduit, erro
 // SendCheckpoint serializes and transmits the given dirty pages of the
 // primary domain and blocks until the restore process acknowledges the
 // complete checkpoint. Page contents are read through the provided
-// mapping accessor.
+// mapping accessor. It is Send followed by AwaitAck; a pipelined
+// shipper calls the two phases separately so encrypt/transmit of one
+// batch overlaps the ack wait of the previous one.
 func (c *Conduit) SendCheckpoint(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error {
+	if err := c.Send(pfns, page); err != nil {
+		return err
+	}
+	return c.AwaitAck()
+}
+
+// Send serializes, encrypts, and transmits one checkpoint batch without
+// waiting for the backup's acknowledgement. Every successful Send must
+// eventually be paired with one AwaitAck; acks arrive in send order.
+func (c *Conduit) Send(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -120,7 +138,15 @@ func (c *Conduit) SendCheckpoint(pfns []mem.PFN, page func(mem.PFN) ([]byte, err
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}
-	// Wait for the backup's acknowledgement before committing.
+	return nil
+}
+
+// AwaitAck blocks until the restore process acknowledges the oldest
+// unacknowledged batch. The conduit mutex is NOT held here — only the
+// ack reader is serialized — so new sends proceed while waiting.
+func (c *Conduit) AwaitAck() error {
+	c.ackMu.Lock()
+	defer c.ackMu.Unlock()
 	var ack [1]byte
 	if _, err := io.ReadFull(c.ackConn, ack[:]); err != nil {
 		return fmt.Errorf("remus: await ack: %w", err)

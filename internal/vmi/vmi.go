@@ -133,6 +133,28 @@ func (c *Context) Stats() Stats { return c.stats }
 // ResetStats zeroes the work counters.
 func (c *Context) ResetStats() { c.stats = Stats{} }
 
+// Fork returns a child context sharing this context's reader, symbol
+// table, profile, and known-good state, but with independent work
+// counters. Concurrent scan modules each introspect through their own
+// fork (the shared state is read-only after Preprocess), then the
+// caller folds the forks' counters back with AddStats.
+func (c *Context) Fork() *Context {
+	return &Context{
+		r:            c.r,
+		prof:         c.prof,
+		symbols:      c.symbols,
+		goodSyscalls: c.goodSyscalls,
+	}
+}
+
+// AddStats accumulates another context's counters into this one,
+// merging a fork's work back after a concurrent scan.
+func (c *Context) AddStats(s Stats) {
+	c.stats.BytesRead += s.BytesRead
+	c.stats.NodesWalked += s.NodesWalked
+	c.stats.SymLookups += s.SymLookups
+}
+
 // Profile returns the kernel profile in use.
 func (c *Context) Profile() *guestos.Profile { return c.prof }
 
