@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-quick bench pause-json
+.PHONY: build test verify verify-quick bench pause-json bench-fleet
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ verify: build
 	$(GO) test -race ./...
 
 # Short race pass over just the packages with real concurrency: the
-# sharded checkpoint copy, the concurrent detector scan, and the
-# controller that drives both.
+# sharded checkpoint copy, the concurrent detector scan, the controller
+# that drives both, and the fleet scheduler running many controllers on
+# one shared hypervisor.
 verify-quick:
-	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core
+	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core ./internal/hv ./internal/fleet
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -26,3 +27,9 @@ bench:
 # Regenerate the machine-readable parallel pause-path benchmark.
 pause-json:
 	$(GO) run ./cmd/crimes-bench -pause-json BENCH_pause.json
+
+# Regenerate the machine-readable fleet-scheduling benchmark. The sweep
+# is priced by the deterministic cost model (fixed workload counts, no
+# wall-clock inputs), so the output is byte-stable across runs.
+bench-fleet:
+	$(GO) run ./cmd/crimes-bench -fleet-json BENCH_fleet.json

@@ -17,10 +17,12 @@ import (
 	"repro/internal/cost"
 	"repro/internal/detect"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/guestos"
 	"repro/internal/hv"
 	"repro/internal/mem"
 	"repro/internal/vmi"
+	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -170,6 +172,69 @@ func BenchmarkPauseParallel(b *testing.B) {
 			b.StopTimer()
 			vpause := m.CheckpointParallel(cost.Full, counts, workers).Total()
 			b.ReportMetric(float64(vpause)/1e6, "vpause_ms")
+		})
+	}
+}
+
+// BenchmarkFleet measures a real co-located fleet at 1, 2, 4 and 8 VMs
+// under staggered scheduling: every VM runs the scaled swaptions
+// workload for three epochs with epoch boundaries gated to one paused
+// VM at a time. ns/op is the real wall-clock fleet round; the reported
+// metrics are the fleet's virtual aggregate pause and the cost model's
+// synchronized-scheduling aggregate for the same per-VM dirty counts
+// (the BENCH_fleet.json comparison, reproduced on the live substrate).
+func BenchmarkFleet(b *testing.B) {
+	m := cost.Default()
+	spec, err := workload.ParsecByName("swaptions")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const epochs = 3
+	for _, vms := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("vms=%d", vms), func(b *testing.B) {
+			var agg time.Duration
+			var syncAgg time.Duration
+			for i := 0; i < b.N; i++ {
+				f, err := fleet.New(fleet.Config{
+					VMs:        vms,
+					GuestPages: 512,
+					Stagger:    true,
+					Seed:       7,
+					Core: Config{
+						EpochInterval: 20 * time.Millisecond,
+						Workers:       4,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runners := make([]*workload.Runner, vms)
+				for j := range runners {
+					runners[j] = workload.NewRunner(spec, 128)
+				}
+				rep := f.Run(epochs, func(vm *fleet.VM, epoch int) func(g *guestos.Guest) error {
+					r := runners[vm.Index]
+					return func(g *guestos.Guest) error {
+						return r.RunEpoch(g, 20*time.Millisecond)
+					}
+				})
+				agg = rep.AggregatePause
+				syncAgg = 0
+				for _, s := range rep.VMs {
+					perEpoch := cost.Counts{
+						TotalPages:  512,
+						DirtyPages:  s.DirtyPages / epochs,
+						BytesCopied: s.DirtyPages / epochs * mem.PageSize,
+					}
+					syncAgg += time.Duration(epochs) *
+						m.CheckpointContended(cost.Full, perEpoch, 4, vms).Total()
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(agg)/1e6, "vpause_agg_ms")
+			b.ReportMetric(float64(syncAgg)/1e6, "vpause_sync_ms")
 		})
 	}
 }

@@ -29,6 +29,7 @@ func run() error {
 		exp       = flag.String("exp", "", "run a single experiment by ID")
 		csvDir    = flag.String("csv", "", "also write <id>.csv files for plottable figures into this directory")
 		pauseJSON = flag.String("pause-json", "", "write the parallel pause-path benchmark as JSON to this path and exit")
+		fleetJSON = flag.String("fleet-json", "", "write the fleet-scheduling benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -47,6 +48,17 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *pauseJSON, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *pauseJSON)
+		return nil
+	}
+	if *fleetJSON != "" {
+		out, err := experiments.FleetSweepJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*fleetJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *fleetJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *fleetJSON)
 		return nil
 	}
 	if *exp != "" {

@@ -9,6 +9,7 @@
 //	crimes -attack malware -windows  # case study 2
 //	crimes -attack hijack
 //	crimes -attack hidden
+//	crimes -vms 4 -stagger           # fleet: 4 co-located VMs, staggered
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/fleet"
 	"repro/internal/guestos"
 	"repro/internal/honeypot"
 	"repro/internal/workload"
@@ -47,6 +49,9 @@ func run() error {
 		modules    = flag.String("modules", "default", "comma-separated detector modules (see -modules list)")
 		faultSpec  = flag.String("fault", "", "inject a fault: site:N[:transient] fails the Nth call at site (e.g. hv.suspend:2, remus.send:1:transient)")
 		workers    = flag.Int("workers", 0, "pause-path worker pool size (0 = GOMAXPROCS, 1 = exact serial path)")
+		vms        = flag.Int("vms", 1, "number of co-located VMs to protect (fleet mode when > 1)")
+		stagger    = flag.Bool("stagger", false, "stagger fleet epoch boundaries (default bound: 1 VM paused at a time)")
+		maxPaused  = flag.Int("max-paused", 0, "fleet: max VMs paused/committing at once (0 = unbounded, or 1 with -stagger)")
 	)
 	flag.Parse()
 
@@ -68,6 +73,19 @@ func run() error {
 	}
 	if *bestEffort {
 		cfg.Safety = crimes.BestEffort
+	}
+	if *vms > 1 {
+		return runFleet(fleetOpts{
+			vms:       *vms,
+			stagger:   *stagger,
+			maxPaused: *maxPaused,
+			windows:   *windows,
+			workload:  *wl,
+			epochs:    *epochs,
+			interval:  *interval,
+			attack:    *attack,
+			cfg:       cfg,
+		})
 	}
 	sys, err := crimes.Launch(crimes.Options{
 		GuestPages: 2048,
@@ -132,6 +150,68 @@ func run() error {
 		sys.Controller.Epoch(), sys.Controller.VirtualTime().Round(time.Millisecond),
 		sys.Controller.TotalPause().Round(time.Millisecond),
 		100*float64(sys.Controller.TotalPause())/float64(sys.Controller.VirtualTime()))
+	return nil
+}
+
+// fleetOpts collects the fleet-mode flags.
+type fleetOpts struct {
+	vms       int
+	stagger   bool
+	maxPaused int
+	windows   bool
+	workload  string
+	epochs    int
+	interval  time.Duration
+	attack    string
+	cfg       crimes.Config
+}
+
+// runFleet protects several co-located VMs at once, each running the
+// selected workload, and prints the per-VM fleet table. With -attack,
+// the attack is injected into vm0's final epoch only — its neighbors
+// keep running their clean epochs, demonstrating failure isolation.
+func runFleet(o fleetOpts) error {
+	spec, err := workload.ParsecByName(o.workload)
+	if err != nil {
+		return err
+	}
+	f, err := fleet.New(fleet.Config{
+		VMs:        o.vms,
+		GuestPages: 1024,
+		MaxPaused:  o.maxPaused,
+		Stagger:    o.stagger,
+		Windows:    o.windows,
+		Core:       o.cfg,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	runners := make([]*workload.Runner, o.vms)
+	for i := range runners {
+		runners[i] = workload.NewRunner(spec, 64)
+	}
+	rep := f.Run(o.epochs, func(vm *fleet.VM, epoch int) func(*guestos.Guest) error {
+		r := runners[vm.Index]
+		last := epoch == o.epochs
+		return func(g *guestos.Guest) error {
+			if err := r.RunEpoch(g, o.interval); err != nil {
+				return err
+			}
+			if last && o.attack != "" && vm.Index == 0 {
+				return inject(g, r.PID(), o.attack)
+			}
+			return nil
+		}
+	})
+	fmt.Print(rep.Render())
+	for _, vm := range f.VMs() {
+		s := vm.Stats()
+		if s.Err != "" && !s.Halted {
+			fmt.Printf("%s stopped: %s\n", s.Name, s.Err)
+		}
+	}
 	return nil
 }
 

@@ -312,6 +312,19 @@ func (c *Checkpointer) Backup() *hv.Domain { return c.backup }
 // Primary returns the protected domain.
 func (c *Checkpointer) Primary() *hv.Domain { return c.primary }
 
+// Domains returns every domain this checkpointer touches: the primary,
+// the local backup, and the remote backup when remote replication is
+// enabled. A fleet uses it to charge a VM's full checkpointing
+// footprint (backups included) to that VM, and to reclaim every domain
+// on teardown.
+func (c *Checkpointer) Domains() []*hv.Domain {
+	ds := []*hv.Domain{c.primary, c.backup}
+	if c.remote != nil {
+		ds = append(ds, c.remote)
+	}
+	return ds
+}
+
 // Optimization returns the active optimization level.
 func (c *Checkpointer) Optimization() cost.Optimization { return c.opt }
 

@@ -35,6 +35,17 @@ import (
 // ErrHalted is returned from RunEpoch after an incident paused the VM.
 var ErrHalted = errors.New("core: VM halted by incident")
 
+// Gate bounds how many co-located controllers hold their domains paused
+// at once. Acquire blocks until a pause slot is free; Release returns
+// it. A fleet scheduler shares one Gate across the VMs on a host so at
+// most K of them are inside the pause window (paused or committing) at
+// any moment, staggering epoch boundaries and bounding contention on
+// the shared pause-path worker pool.
+type Gate interface {
+	Acquire()
+	Release()
+}
+
 // ScanMode selects when the audit runs relative to the checkpoint.
 type ScanMode int
 
@@ -101,6 +112,14 @@ type Config struct {
 	// exact serial path, which reproduces the paper's Table 1 / Figure 3
 	// / Figure 4 numbers bit-for-bit.
 	Workers int
+	// PauseGate, when non-nil, is acquired immediately before the
+	// domain pauses at the epoch boundary and released when RunEpoch
+	// returns — by which point the domain has resumed, unwound, or been
+	// deliberately halted. A fleet controller shares one gate across
+	// co-located VMs to bound how many are paused or committing at
+	// once; a halted VM never retains its slot, so one incident cannot
+	// stall its neighbors' epoch loops.
+	PauseGate Gate
 }
 
 func (c *Config) setDefaults() {
@@ -406,8 +425,16 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	}
 	c.virtualNow += c.cfg.EpochInterval
 
-	// Pause at the epoch boundary. Until Pause succeeds the domain is
-	// still Running, so a pause failure needs no unwind.
+	// Pause at the epoch boundary. With a PauseGate configured, a pause
+	// slot is acquired first and held until RunEpoch returns: the fleet
+	// scheduler uses this to stagger epoch boundaries so at most K
+	// co-located VMs are paused or committing at once.
+	if c.cfg.PauseGate != nil {
+		c.cfg.PauseGate.Acquire()
+		defer c.cfg.PauseGate.Release()
+	}
+	// Until Pause succeeds the domain is still Running, so a pause
+	// failure needs no unwind.
 	if err := c.retryOp(res, c.dom.Pause); err != nil {
 		res.VirtualTime = c.virtualNow
 		return res, fmt.Errorf("core: epoch %d pause: %w", c.epoch, err)

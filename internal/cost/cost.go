@@ -265,6 +265,37 @@ func (m Model) CheckpointParallel(opt Optimization, c Counts, workers int) Phase
 	return p
 }
 
+// CheckpointContended prices one VM's checkpoint when it shares the
+// host's pause-path worker pool with other co-located VMs. concurrent
+// is the number of VMs inside overlapping pause windows — the fleet
+// scheduler's K bound under staggered scheduling, or the whole fleet
+// when epoch boundaries are synchronized. The pool divides evenly:
+// each VM's parallelizable phases run with workers/concurrent workers
+// (at least one), and when more VMs contend than there are workers the
+// excess pause windows serialize, scaling the pool-sharded phases
+// (bitmap scan and copy) by concurrent/workers. concurrent <= 1
+// delegates to CheckpointParallel exactly, so a fleet of one VM prices
+// byte-for-byte like the single-VM pause path.
+func (m Model) CheckpointContended(opt Optimization, c Counts, workers, concurrent int) Phases {
+	if concurrent <= 1 {
+		return m.CheckpointParallel(opt, c, workers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	eff := workers / concurrent
+	if eff < 1 {
+		eff = 1
+	}
+	p := m.CheckpointParallel(opt, c, eff)
+	if concurrent > workers {
+		queue := float64(concurrent) / float64(workers)
+		p.Bitscan = time.Duration(float64(p.Bitscan) * queue)
+		p.Copy = time.Duration(float64(p.Copy) * queue)
+	}
+	return p
+}
+
 // PremapStartup prices the one-time global mapping for Premap/Full.
 func (m Model) PremapStartup(totalPages int) time.Duration {
 	return ns((m.MapPageNs + m.UnmapPageNs) * float64(totalPages))

@@ -203,3 +203,53 @@ func TestCheckpointParallelSpeedup(t *testing.T) {
 		t.Fatal("remote pages still charged inside the parallel pause window")
 	}
 }
+
+// TestCheckpointContendedIdentity pins the fleet reproduction
+// guarantee: with at most one concurrent checkpoint there is no
+// contention, so the contended pricing is bit-identical to
+// CheckpointParallel at every worker count — a one-VM fleet reproduces
+// the single-VM numbers exactly.
+func TestCheckpointContendedIdentity(t *testing.T) {
+	m := Default()
+	counts := Counts{TotalPages: 1 << 18, DirtyPages: 9000, BytesCopied: 9000 * 4096,
+		VMINodes: 12, Canaries: 500}
+	for _, opt := range []Optimization{NoOpt, Memcpy, Premap, Full} {
+		for _, w := range []int{1, 2, 4, 8} {
+			want := m.CheckpointParallel(opt, counts, w)
+			for _, conc := range []int{-1, 0, 1} {
+				if got := m.CheckpointContended(opt, counts, w, conc); got != want {
+					t.Fatalf("%s workers=%d concurrent=%d: %+v != uncontended %+v",
+						opt, w, conc, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointContendedDegrades: splitting the pool across concurrent
+// checkpoints can only slow each one down, monotonically in the number
+// of contenders, and oversubscription (more VMs than workers) costs
+// extra queueing on top of the serial floor.
+func TestCheckpointContendedDegrades(t *testing.T) {
+	m := Default()
+	const pages = 16384
+	counts := Counts{TotalPages: pages, DirtyPages: pages, BytesCopied: pages * 4096}
+	const workers = 8
+	prev := m.CheckpointContended(Full, counts, workers, 1).Total()
+	for _, conc := range []int{2, 4, 8, 16} {
+		cur := m.CheckpointContended(Full, counts, workers, conc).Total()
+		if cur < prev {
+			t.Fatalf("contended pause shrank at concurrency %d: %v < %v", conc, cur, prev)
+		}
+		prev = cur
+	}
+	// Pool fully divided (8 VMs on 8 workers) == each running serial.
+	serial := m.CheckpointParallel(Full, counts, 1).Total()
+	if got := m.CheckpointContended(Full, counts, workers, workers).Total(); got != serial {
+		t.Fatalf("fully divided pool %v != serial %v", got, serial)
+	}
+	// Oversubscribed (16 VMs on 8 workers) must exceed the serial floor.
+	if got := m.CheckpointContended(Full, counts, workers, 16).Total(); got <= serial {
+		t.Fatalf("oversubscribed pause %v not above serial floor %v", got, serial)
+	}
+}

@@ -58,6 +58,7 @@ func All() []struct {
 		{"remus", RemusComparison},
 		{"ablation", AblationSummary},
 		{"pause", PauseParallel},
+		{"fleet", FleetScaling},
 	}
 }
 

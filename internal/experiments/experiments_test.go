@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(all))
 	}
 	for _, e := range all {
 		if _, err := ByID(e.ID); err != nil {
@@ -256,5 +256,77 @@ func TestPauseParallelExperiment(t *testing.T) {
 	}
 	if _, err := PauseBreakdownJSON(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFleetScalingExperiment(t *testing.T) {
+	text := run(t, "fleet")
+	if !strings.Contains(text, "vms") || !strings.Contains(text, "stagger-agg") {
+		t.Fatalf("fleet experiment missing sweep columns:\n%s", text)
+	}
+	bench, err := FleetSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Points) != 4 || bench.Points[0].VMs != 1 {
+		t.Fatalf("unexpected sweep: %+v", bench.Points)
+	}
+	// The one-VM fleet has no contention in either mode: both rows must
+	// equal the single-VM parallel pause benchmark's workers=8 total
+	// exactly — the fleet path reproduces today's numbers byte-for-byte.
+	pause, err := PauseBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w8 float64
+	for _, p := range pause.Points {
+		if p.Workers == fleetWorkers {
+			w8 = p.TotalMs
+		}
+	}
+	if w8 == 0 {
+		t.Fatalf("pause benchmark has no workers=%d row", fleetWorkers)
+	}
+	one := bench.Points[0]
+	if one.SyncPauseMsPerVM != w8 || one.StaggerPauseMsPerVM != w8 {
+		t.Fatalf("vms=1 rows (sync %.6f, stagger %.6f) != single-VM workers=%d total %.6f",
+			one.SyncPauseMsPerVM, one.StaggerPauseMsPerVM, fleetWorkers, w8)
+	}
+	if one.SavingVsSync != 1 {
+		t.Fatalf("vms=1 saving = %.3f, want exactly 1", one.SavingVsSync)
+	}
+	// For every larger fleet, staggered scheduling must beat
+	// synchronized on aggregate pause, and the gap must grow with the
+	// fleet (contention worsens superlinearly, staggering stays linear).
+	prevSaving := one.SavingVsSync
+	for _, p := range bench.Points[1:] {
+		if p.StaggerAggregateMs >= p.SyncAggregateMs {
+			t.Errorf("vms=%d: staggered aggregate %.3f not below synchronized %.3f",
+				p.VMs, p.StaggerAggregateMs, p.SyncAggregateMs)
+		}
+		if p.SavingVsSync <= prevSaving {
+			t.Errorf("vms=%d: saving %.3f not above previous %.3f", p.VMs, p.SavingVsSync, prevSaving)
+		}
+		prevSaving = p.SavingVsSync
+	}
+}
+
+// The fleet benchmark is a pure function of the cost model, so its JSON
+// rendering is byte-stable — `make bench-fleet` regenerates
+// BENCH_fleet.json deterministically.
+func TestFleetSweepJSONDeterministic(t *testing.T) {
+	a, err := FleetSweepJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetSweepJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("FleetSweepJSON not deterministic across calls")
+	}
+	if !strings.Contains(string(a), "\"aggregate_saving_vs_sync\"") {
+		t.Fatalf("JSON missing saving field:\n%s", a)
 	}
 }

@@ -1,0 +1,407 @@
+// Package fleet runs and schedules many CRIMES-protected VMs on one
+// host (the paper's §6 scalability setting): N per-VM controllers share
+// one hypervisor and its pause-path worker pool, and a scheduler
+// staggers epoch boundaries so at most K VMs are inside the pause
+// window (paused or committing) at once — bounding both the host's
+// aggregate pause time and contention on the shared Config.Workers
+// pool. Failures are isolated per VM: one guest halting on an incident,
+// unwinding a failed epoch, or degrading to local-only replication
+// never stalls its neighbors' epoch loops.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+)
+
+// Config configures a fleet of co-located CRIMES-protected VMs.
+type Config struct {
+	// VMs is the number of protected guests (default 1).
+	VMs int
+	// GuestPages is each guest's memory size in 4 KiB pages (default
+	// 1024). The host is sized automatically: every guest needs its own
+	// frames plus a same-sized checkpoint backup domain.
+	GuestPages int
+	// MaxPaused bounds how many VMs may be inside the pause window at
+	// once — the scheduler's K. 0 means unbounded unless Stagger is
+	// set: every VM may hit its epoch boundary simultaneously
+	// (synchronized scheduling, the worst case for pool contention).
+	MaxPaused int
+	// Stagger staggers epoch boundaries across the fleet. When set and
+	// MaxPaused is 0, the bound defaults to 1 (fully staggered: one VM
+	// in its pause window at a time).
+	Stagger bool
+	// Windows boots Windows guest profiles instead of Linux.
+	Windows bool
+	// Seed is the base boot entropy; VM i boots with Seed+i so runs are
+	// deterministic but canary secrets differ per guest.
+	Seed int64
+	// Names optionally names the VMs; unnamed VMs default to vmN.
+	Names []string
+	// Core is the per-VM controller configuration, copied to every VM.
+	// Its PauseGate is overwritten with the fleet's shared gate.
+	Core core.Config
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.VMs <= 0 {
+		cfg.VMs = 1
+	}
+	if cfg.GuestPages <= 0 {
+		cfg.GuestPages = 1024
+	}
+	if cfg.Stagger && cfg.MaxPaused <= 0 {
+		cfg.MaxPaused = 1
+	}
+	if cfg.MaxPaused <= 0 || cfg.MaxPaused > cfg.VMs {
+		cfg.MaxPaused = cfg.VMs
+	}
+	if cfg.Core.Modules == nil {
+		mods, err := detect.ModulesByName("default")
+		if err == nil {
+			cfg.Core.Modules = mods
+		}
+	}
+}
+
+// VM is one protected guest in the fleet.
+type VM struct {
+	Index      int
+	Name       string
+	Guest      *guestos.Guest
+	Controller *core.Controller
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats reports one VM's accounting after (or during) a fleet run. All
+// durations are virtual time from the VM's own controller, so they are
+// deterministic for a fixed seed regardless of goroutine scheduling.
+type Stats struct {
+	Name string
+	// Epochs counts RunEpoch attempts; CleanEpochs those that completed
+	// with no incident, error, or unwind.
+	Epochs      int
+	CleanEpochs int
+	// DirtyPages is the total dirty pages checkpointed across epochs.
+	DirtyPages int
+	// Findings and Incidents count detector evidence and failed audits.
+	Findings  int
+	Incidents int
+	// Halted reports whether the VM was quarantined (incident or
+	// unrecoverable fault).
+	Halted bool
+	// Recovery roll-ups across the run.
+	Retries      int
+	Unwinds      int
+	Degradations int
+	// PauseTotal and VirtualTime are the controller's virtual clocks.
+	PauseTotal  time.Duration
+	VirtualTime time.Duration
+	// StaggerOffset is the VM's scheduled epoch-boundary offset under
+	// staggered scheduling (informational; zero when synchronized).
+	StaggerOffset time.Duration
+	// Hypercalls is the VM's per-domain attributed hypercall footprint,
+	// summed over its primary and checkpoint backup domains.
+	Hypercalls hv.Hypercalls
+	// Err records the error that stopped the VM's loop, if any.
+	Err string
+}
+
+// Fleet owns N protected VMs on one shared hypervisor.
+type Fleet struct {
+	cfg  Config
+	hv   *hv.Hypervisor
+	gate *pauseGate
+	vms  []*VM
+}
+
+// New boots a fleet: one shared hypervisor sized for every guest and
+// its backup, N guests with per-VM seeds, and N controllers sharing one
+// pause gate. On any boot failure everything already created is torn
+// down before returning.
+func New(cfg Config) (*Fleet, error) {
+	cfg.setDefaults()
+	// Per VM: guest frames + same-sized checkpoint backup + slack for
+	// kernel structures; plus host slack.
+	frames := cfg.VMs*(2*cfg.GuestPages+32) + 64
+	f := &Fleet{
+		cfg:  cfg,
+		hv:   hv.New(frames),
+		gate: newPauseGate(cfg.MaxPaused),
+	}
+	prof := guestos.LinuxProfile()
+	if cfg.Windows {
+		prof = guestos.WindowsProfile()
+	}
+	interval := cfg.Core.EpochInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	for i := 0; i < cfg.VMs; i++ {
+		name := fmt.Sprintf("vm%d", i)
+		if i < len(cfg.Names) && cfg.Names[i] != "" {
+			name = cfg.Names[i]
+		}
+		dom, err := f.hv.CreateDomain(name, cfg.GuestPages)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: create %s: %w", name, err)
+		}
+		g, err := guestos.Boot(dom, guestos.BootConfig{Profile: prof, Seed: cfg.Seed + int64(i)})
+		if err != nil {
+			_ = f.hv.DestroyDomain(dom.ID())
+			f.Close()
+			return nil, fmt.Errorf("fleet: boot %s: %w", name, err)
+		}
+		ccfg := cfg.Core
+		ccfg.PauseGate = f.gate
+		ctl, err := core.New(f.hv, g, ccfg)
+		if err != nil {
+			_ = f.hv.DestroyDomain(dom.ID())
+			f.Close()
+			return nil, fmt.Errorf("fleet: attach controller to %s: %w", name, err)
+		}
+		vm := &VM{Index: i, Name: name, Guest: g, Controller: ctl}
+		vm.stats.Name = name
+		if cfg.Stagger {
+			vm.stats.StaggerOffset = interval * time.Duration(i) / time.Duration(cfg.VMs)
+		}
+		f.vms = append(f.vms, vm)
+	}
+	return f, nil
+}
+
+// HV returns the shared hypervisor.
+func (f *Fleet) HV() *hv.Hypervisor { return f.hv }
+
+// VMs returns the fleet's VMs in index order.
+func (f *Fleet) VMs() []*VM { return f.vms }
+
+// MaxPaused returns the scheduler's configured K bound.
+func (f *Fleet) MaxPaused() int { return f.cfg.MaxPaused }
+
+// Work produces the guest work for one VM's epoch (1-based). Returning
+// a nil function runs an idle epoch for that VM.
+type Work func(vm *VM, epoch int) func(*guestos.Guest) error
+
+// Run drives every VM through up to `epochs` epochs concurrently, one
+// goroutine per VM, with the shared pause gate staggering their epoch
+// boundaries. A VM that halts on an incident or fails with an error
+// stops early and releases its pause slot; the others keep running
+// their full schedule. Run may be called again to continue a fleet
+// whose VMs have not halted.
+func (f *Fleet) Run(epochs int, work Work) *Report {
+	var wg sync.WaitGroup
+	for _, vm := range f.vms {
+		wg.Add(1)
+		go func(vm *VM) {
+			defer wg.Done()
+			f.runVM(vm, epochs, work)
+		}(vm)
+	}
+	wg.Wait()
+	return f.Report()
+}
+
+func (f *Fleet) runVM(vm *VM, epochs int, work Work) {
+	for e := 1; e <= epochs; e++ {
+		if vm.Controller.Halted() {
+			return
+		}
+		var fn func(*guestos.Guest) error
+		if work != nil {
+			fn = work(vm, e)
+		}
+		res, err := vm.Controller.RunEpoch(fn)
+		vm.mu.Lock()
+		vm.stats.Epochs++
+		if res != nil {
+			vm.stats.Findings += len(res.Findings)
+			vm.stats.DirtyPages += res.Counts.DirtyPages
+			vm.stats.Retries += res.Recovery.Retries
+			if res.Recovery.Unwind != core.UnwindNone {
+				vm.stats.Unwinds++
+			}
+			vm.stats.Degradations += len(res.Recovery.Degradations)
+			if res.Incident != nil {
+				vm.stats.Incidents++
+			}
+			if err == nil && res.Incident == nil && res.Recovery.Unwind == core.UnwindNone {
+				vm.stats.CleanEpochs++
+			}
+		}
+		if err != nil {
+			vm.stats.Err = err.Error()
+		}
+		vm.mu.Unlock()
+		if err != nil || vm.Controller.Halted() {
+			return
+		}
+	}
+}
+
+// Stats snapshots the VM's accounting, folding in the controller's
+// current clocks and the per-domain hypercall attribution.
+func (vm *VM) Stats() Stats {
+	vm.mu.Lock()
+	s := vm.stats
+	vm.mu.Unlock()
+	s.Halted = vm.Controller.Halted()
+	s.PauseTotal = vm.Controller.TotalPause()
+	s.VirtualTime = vm.Controller.VirtualTime()
+	for _, d := range vm.Controller.Checkpointer().Domains() {
+		s.Hypercalls.Add(d.Calls())
+	}
+	return s
+}
+
+// Report is the fleet-wide accounting snapshot.
+type Report struct {
+	// VMs holds per-VM stats in index order.
+	VMs []Stats
+	// MaxPaused is the configured K; MaxPausedObserved the peak number
+	// of VMs actually inside the pause window simultaneously.
+	MaxPaused         int
+	MaxPausedObserved int
+	// Stagger reports the scheduling mode.
+	Stagger bool
+	// AggregatePause sums every VM's virtual paused time — the fleet's
+	// total lost guest time. WorstPause is the worst single VM's.
+	AggregatePause time.Duration
+	WorstPause     time.Duration
+	// Roll-ups across the fleet.
+	TotalEpochs    int
+	TotalFindings  int
+	TotalIncidents int
+	HaltedVMs      int
+	// Hypercalls is the host-wide aggregate across all domains.
+	Hypercalls hv.Hypercalls
+}
+
+// Report snapshots the fleet's current accounting.
+func (f *Fleet) Report() *Report {
+	r := &Report{
+		MaxPaused:         f.cfg.MaxPaused,
+		MaxPausedObserved: f.gate.Peak(),
+		Stagger:           f.cfg.Stagger,
+		Hypercalls:        f.hv.Calls(),
+	}
+	for _, vm := range f.vms {
+		s := vm.Stats()
+		r.VMs = append(r.VMs, s)
+		r.AggregatePause += s.PauseTotal
+		if s.PauseTotal > r.WorstPause {
+			r.WorstPause = s.PauseTotal
+		}
+		r.TotalEpochs += s.Epochs
+		r.TotalFindings += s.Findings
+		if s.Halted {
+			r.HaltedVMs++
+		}
+		r.TotalIncidents += s.Incidents
+	}
+	return r
+}
+
+// Render formats the per-VM fleet table and the aggregate summary.
+func (r *Report) Render() string {
+	var b strings.Builder
+	mode := "synchronized"
+	if r.Stagger {
+		mode = "staggered"
+	}
+	fmt.Fprintf(&b, "fleet: %d VMs, %s scheduling, K=%d (peak paused observed: %d)\n",
+		len(r.VMs), mode, r.MaxPaused, r.MaxPausedObserved)
+	fmt.Fprintf(&b, "%-10s %6s %6s %8s %9s %7s %12s %12s %10s %s\n",
+		"vm", "epochs", "clean", "findings", "incidents", "dirty", "pause", "vtime", "hcalls", "status")
+	for _, s := range r.VMs {
+		status := "ok"
+		switch {
+		case s.Halted:
+			status = "halted"
+		case s.Err != "":
+			status = "error"
+		}
+		hcalls := s.Hypercalls.MapPage + s.Hypercalls.UnmapPage + s.Hypercalls.Translate +
+			s.Hypercalls.DirtyRead + s.Hypercalls.EventConfig
+		fmt.Fprintf(&b, "%-10s %6d %6d %8d %9d %7d %12v %12v %10d %s\n",
+			s.Name, s.Epochs, s.CleanEpochs, s.Findings, s.Incidents, s.DirtyPages,
+			s.PauseTotal.Round(time.Microsecond), s.VirtualTime.Round(time.Millisecond),
+			hcalls, status)
+	}
+	fmt.Fprintf(&b, "aggregate: pause=%v worst=%v epochs=%d findings=%d incidents=%d halted=%d\n",
+		r.AggregatePause.Round(time.Microsecond), r.WorstPause.Round(time.Microsecond),
+		r.TotalEpochs, r.TotalFindings, r.TotalIncidents, r.HaltedVMs)
+	return b.String()
+}
+
+// Close tears the fleet down: every controller is closed and every
+// domain it touched (primary, backup, remote) is destroyed, returning
+// all machine frames to the host pool.
+func (f *Fleet) Close() error {
+	var first error
+	for _, vm := range f.vms {
+		if err := vm.Controller.Close(); err != nil && first == nil {
+			first = err
+		}
+		for _, d := range vm.Controller.Checkpointer().Domains() {
+			if err := f.hv.DestroyDomain(d.ID()); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	f.vms = nil
+	return first
+}
+
+// pauseGate is a counting semaphore implementing core.Gate: at most K
+// holders at once, tracking the observed peak for verification.
+type pauseGate struct {
+	slots chan struct{}
+
+	mu   sync.Mutex
+	cur  int
+	peak int
+}
+
+func newPauseGate(k int) *pauseGate {
+	if k < 1 {
+		k = 1
+	}
+	return &pauseGate{slots: make(chan struct{}, k)}
+}
+
+// Acquire blocks until a pause slot is free.
+func (g *pauseGate) Acquire() {
+	g.slots <- struct{}{}
+	g.mu.Lock()
+	g.cur++
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+	g.mu.Unlock()
+}
+
+// Release returns the slot.
+func (g *pauseGate) Release() {
+	g.mu.Lock()
+	g.cur--
+	g.mu.Unlock()
+	<-g.slots
+}
+
+// Peak reports the most holders ever concurrent.
+func (g *pauseGate) Peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}

@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guestos"
+	"repro/internal/workload"
+)
+
+// testWork returns a Work function running the swaptions workload in
+// every VM, with an independent runner per VM.
+func testWork(t *testing.T, vms int, epoch time.Duration) Work {
+	t.Helper()
+	spec, err := workload.ParsecByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := make([]*workload.Runner, vms)
+	for i := range runners {
+		runners[i] = workload.NewRunner(spec, 64)
+	}
+	return func(vm *VM, _ int) func(*guestos.Guest) error {
+		r := runners[vm.Index]
+		return func(g *guestos.Guest) error {
+			return r.RunEpoch(g, epoch)
+		}
+	}
+}
+
+func newTestFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("fleet.Close: %v", err)
+		}
+	})
+	return f
+}
+
+// Four concurrent VM controllers on one hypervisor all complete their
+// clean epochs under staggered scheduling.
+func TestFleetCleanEpochs(t *testing.T) {
+	const vms, epochs = 4, 3
+	interval := 10 * time.Millisecond
+	f := newTestFleet(t, Config{
+		VMs:     vms,
+		Stagger: true,
+		Seed:    1,
+	})
+	rep := f.Run(epochs, testWork(t, vms, interval))
+	if len(rep.VMs) != vms {
+		t.Fatalf("report has %d VMs, want %d", len(rep.VMs), vms)
+	}
+	for _, s := range rep.VMs {
+		if s.Epochs != epochs || s.CleanEpochs != epochs {
+			t.Errorf("%s: epochs=%d clean=%d, want %d/%d (err=%q)",
+				s.Name, s.Epochs, s.CleanEpochs, epochs, epochs, s.Err)
+		}
+		if s.Halted || s.Incidents != 0 {
+			t.Errorf("%s: halted=%v incidents=%d on a clean run", s.Name, s.Halted, s.Incidents)
+		}
+		if s.DirtyPages == 0 || s.PauseTotal <= 0 {
+			t.Errorf("%s: no work accounted: dirty=%d pause=%v", s.Name, s.DirtyPages, s.PauseTotal)
+		}
+		calls := s.Hypercalls
+		if calls.DirtyRead == 0 || calls.MapPage == 0 {
+			t.Errorf("%s: per-domain attribution empty: %+v", s.Name, calls)
+		}
+	}
+	if rep.TotalEpochs != vms*epochs {
+		t.Errorf("TotalEpochs = %d, want %d", rep.TotalEpochs, vms*epochs)
+	}
+	if rep.AggregatePause <= 0 || rep.WorstPause <= 0 || rep.AggregatePause < rep.WorstPause {
+		t.Errorf("bad pause accounting: aggregate=%v worst=%v", rep.AggregatePause, rep.WorstPause)
+	}
+}
+
+// The scheduler's K bound holds: with MaxPaused=1 the observed peak of
+// simultaneously paused VMs never exceeds 1, and with a looser K it
+// never exceeds K.
+func TestFleetPauseBoundObserved(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		f := newTestFleet(t, Config{
+			VMs:       4,
+			Stagger:   true,
+			MaxPaused: k,
+			Seed:      2,
+		})
+		rep := f.Run(3, testWork(t, 4, 10*time.Millisecond))
+		if rep.MaxPaused != k {
+			t.Errorf("K=%d: report MaxPaused = %d", k, rep.MaxPaused)
+		}
+		if rep.MaxPausedObserved > k {
+			t.Errorf("K=%d: observed %d VMs paused at once", k, rep.MaxPausedObserved)
+		}
+		if rep.MaxPausedObserved < 1 {
+			t.Errorf("K=%d: no pause ever observed", k)
+		}
+	}
+}
+
+// One VM hitting an incident halts alone: its neighbors complete every
+// clean epoch of the schedule (failure isolation).
+func TestFleetIncidentIsolation(t *testing.T) {
+	const vms, epochs = 4, 4
+	const victim = 1
+	interval := 10 * time.Millisecond
+	spec, err := workload.ParsecByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := make([]*workload.Runner, vms)
+	for i := range runners {
+		runners[i] = workload.NewRunner(spec, 64)
+	}
+	f := newTestFleet(t, Config{
+		VMs:     vms,
+		Stagger: true,
+		Seed:    3,
+	})
+	rep := f.Run(epochs, func(vm *VM, epoch int) func(*guestos.Guest) error {
+		r := runners[vm.Index]
+		return func(g *guestos.Guest) error {
+			if err := r.RunEpoch(g, interval); err != nil {
+				return err
+			}
+			if vm.Index == victim && epoch == 2 {
+				_, err := workload.InjectOverflow(g, r.PID(), 64, 16)
+				return err
+			}
+			return nil
+		}
+	})
+	if rep.HaltedVMs != 1 || rep.TotalIncidents != 1 {
+		t.Fatalf("halted=%d incidents=%d, want exactly 1 each\n%s",
+			rep.HaltedVMs, rep.TotalIncidents, rep.Render())
+	}
+	v := rep.VMs[victim]
+	if !v.Halted || v.Incidents != 1 || v.Epochs != 2 {
+		t.Errorf("victim: halted=%v incidents=%d epochs=%d, want halted after epoch 2",
+			v.Halted, v.Incidents, v.Epochs)
+	}
+	for i, s := range rep.VMs {
+		if i == victim {
+			continue
+		}
+		if s.Halted || s.CleanEpochs != epochs {
+			t.Errorf("neighbor %s stalled by victim: halted=%v clean=%d/%d (err=%q)",
+				s.Name, s.Halted, s.CleanEpochs, epochs, s.Err)
+		}
+	}
+}
+
+// Closing a fleet returns every machine frame to the host pool — no
+// frame leaks from the concurrent controllers' primary, backup, or
+// scratch domains.
+func TestFleetCloseReclaimsAllFrames(t *testing.T) {
+	f, err := New(Config{VMs: 4, Stagger: true, Seed: 4})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	m := f.HV().Machine()
+	f.Run(2, testWork(t, 4, 10*time.Millisecond))
+	if err := f.Close(); err != nil {
+		t.Fatalf("fleet.Close: %v", err)
+	}
+	if free, total := m.FreeFrames(), m.TotalFrames(); free != total {
+		t.Fatalf("frame leak after Close: %d free of %d", free, total)
+	}
+}
+
+// Two fleets with the same seed and schedule produce identical virtual
+// accounting: the stats are functions of the workload, not of goroutine
+// interleaving.
+func TestFleetDeterminism(t *testing.T) {
+	run := func() []Stats {
+		f := newTestFleet(t, Config{VMs: 4, Stagger: true, Seed: 5})
+		return f.Run(3, testWork(t, 4, 10*time.Millisecond)).VMs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("VM count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("vm%d stats differ between identical runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The vms=1 fleet is the degenerate case: no contention, one gate slot,
+// and the single VM's schedule runs exactly like a standalone system.
+func TestFleetSingleVM(t *testing.T) {
+	f := newTestFleet(t, Config{VMs: 1, Stagger: true, Seed: 6})
+	rep := f.Run(3, testWork(t, 1, 10*time.Millisecond))
+	if len(rep.VMs) != 1 || rep.VMs[0].CleanEpochs != 3 {
+		t.Fatalf("single-VM fleet: %+v", rep.VMs)
+	}
+	if rep.MaxPausedObserved != 1 {
+		t.Errorf("observed peak = %d, want 1", rep.MaxPausedObserved)
+	}
+}
+
+// The pause gate is a correct counting semaphore: hammered from many
+// goroutines, the observed peak never exceeds K.
+func TestPauseGateBound(t *testing.T) {
+	const k, goroutines, rounds = 3, 16, 200
+	g := newPauseGate(k)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				g.Acquire()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := g.Peak(); p > k || p < 1 {
+		t.Fatalf("peak = %d, want in [1,%d]", p, k)
+	}
+}

@@ -8,6 +8,7 @@ package hv
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/mem"
@@ -122,13 +123,21 @@ func (h *Hypercalls) Add(o Hypercalls) {
 	h.EventConfig += o.EventConfig
 }
 
-// Hypervisor owns machine memory and the domains running on a host.
+// Hypervisor owns machine memory and the domains running on a host. It
+// is safe for concurrent use by fleet workers driving different
+// domains: the domain table, the frame allocator, and the hypercall
+// counters are internally synchronized. (Individual domains are still
+// single-owner: one controller drives one domain at a time.)
 type Hypervisor struct {
 	machine *mem.Machine
+	faults  *fault.Injector
+
+	mu      sync.Mutex // guards domains and nextID
 	domains map[DomainID]*Domain
 	nextID  DomainID
+
+	callsMu sync.Mutex // guards calls and every domain's calls
 	calls   Hypercalls
-	faults  *fault.Injector
 }
 
 // New creates a hypervisor managing the given number of machine frames.
@@ -143,11 +152,34 @@ func New(machineFrames int) *Hypervisor {
 // Machine exposes the underlying machine memory pool.
 func (h *Hypervisor) Machine() *mem.Machine { return h.machine }
 
-// Calls returns the accumulated hypercall counters.
-func (h *Hypervisor) Calls() Hypercalls { return h.calls }
+// Calls returns the accumulated host-wide hypercall counters (every
+// domain's operations folded together).
+func (h *Hypervisor) Calls() Hypercalls {
+	h.callsMu.Lock()
+	defer h.callsMu.Unlock()
+	return h.calls
+}
 
-// ResetCalls zeroes the hypercall counters.
-func (h *Hypervisor) ResetCalls() { h.calls = Hypercalls{} }
+// ResetCalls zeroes the host-wide hypercall counters. Per-domain
+// counters (Domain.Calls) are unaffected; reset those with
+// Domain.ResetCalls.
+func (h *Hypervisor) ResetCalls() {
+	h.callsMu.Lock()
+	h.calls = Hypercalls{}
+	h.callsMu.Unlock()
+}
+
+// countCalls applies f to the host-wide counters and, when d is
+// non-nil, to d's per-domain counters under one lock, so parallel fleet
+// workers never race on the counters or cross-charge each other's VMs.
+func (h *Hypervisor) countCalls(d *Domain, f func(*Hypercalls)) {
+	h.callsMu.Lock()
+	f(&h.calls)
+	if d != nil {
+		f(&d.calls)
+	}
+	h.callsMu.Unlock()
+}
 
 // InjectFaults arms a fault injector on the hypervisor. Instrumented
 // operations (and clients that obtain the injector via Faults) consult
@@ -159,7 +191,11 @@ func (h *Hypervisor) InjectFaults(in *fault.Injector) { h.faults = in }
 func (h *Hypervisor) Faults() *fault.Injector { return h.faults }
 
 // DomainCount reports the number of live domains on the host.
-func (h *Hypervisor) DomainCount() int { return len(h.domains) }
+func (h *Hypervisor) DomainCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.domains)
+}
 
 // CreateDomain allocates a domain with the given guest-physical memory
 // size in pages.
@@ -173,21 +209,25 @@ func (h *Hypervisor) CreateDomain(name string, pages int) (*Domain, error) {
 	}
 	d := &Domain{
 		hv:      h,
-		id:      h.nextID,
 		name:    name,
 		physmap: mfns,
 		state:   StateRunning,
 		dirty:   mem.NewBitmap(pages),
 		watches: make(map[mem.PFN]AccessKind),
 	}
+	h.mu.Lock()
+	d.id = h.nextID
 	h.nextID++
 	h.domains[d.id] = d
+	h.mu.Unlock()
 	return d, nil
 }
 
 // Domain looks up a domain by ID.
 func (h *Hypervisor) Domain(id DomainID) (*Domain, error) {
+	h.mu.Lock()
 	d, ok := h.domains[id]
+	h.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("domain %d: %w", id, ErrNoDomain)
 	}
@@ -196,7 +236,12 @@ func (h *Hypervisor) Domain(id DomainID) (*Domain, error) {
 
 // DestroyDomain releases a domain and its machine frames.
 func (h *Hypervisor) DestroyDomain(id DomainID) error {
+	h.mu.Lock()
 	d, ok := h.domains[id]
+	if ok {
+		delete(h.domains, id)
+	}
+	h.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("destroy domain %d: %w", id, ErrNoDomain)
 	}
@@ -208,7 +253,6 @@ func (h *Hypervisor) DestroyDomain(id DomainID) error {
 		}
 	}
 	d.state = StateDestroyed
-	delete(h.domains, id)
 	return nil
 }
 
@@ -229,6 +273,8 @@ type Domain struct {
 	ring    []MemEvent
 
 	bytesWritten uint64 // cumulative guest-physical bytes written
+
+	calls Hypercalls // per-domain attribution; guarded by hv.callsMu
 }
 
 // ID returns the domain's identifier.
@@ -255,6 +301,24 @@ func (d *Domain) SetVCPU(v VCPU) { d.vcpu = v }
 // BytesWritten reports cumulative bytes written to guest memory, used by
 // workload accounting.
 func (d *Domain) BytesWritten() uint64 { return d.bytesWritten }
+
+// Calls returns the hypercall counters attributed to this domain, so a
+// fleet can account per-VM costs without cross-charging co-located
+// guests. The host-wide aggregate remains available via
+// Hypervisor.Calls.
+func (d *Domain) Calls() Hypercalls {
+	d.hv.callsMu.Lock()
+	defer d.hv.callsMu.Unlock()
+	return d.calls
+}
+
+// ResetCalls zeroes this domain's hypercall counters; the host-wide
+// aggregate is unaffected.
+func (d *Domain) ResetCalls() {
+	d.hv.callsMu.Lock()
+	d.calls = Hypercalls{}
+	d.hv.callsMu.Unlock()
+}
 
 // Pause stops the domain at an instruction boundary.
 func (d *Domain) Pause() error {
@@ -298,7 +362,7 @@ func (d *Domain) Translate(pfn mem.PFN) (mem.MFN, error) {
 	if uint64(pfn) >= uint64(len(d.physmap)) {
 		return mem.InvalidMFN, fmt.Errorf("translate pfn %d: %w", pfn, ErrBadAddress)
 	}
-	d.hv.calls.Translate++
+	d.hv.countCalls(d, func(c *Hypercalls) { c.Translate++ })
 	return d.physmap[pfn], nil
 }
 
@@ -306,7 +370,7 @@ func (d *Domain) Translate(pfn mem.PFN) (mem.MFN, error) {
 // it counts one translation hypercall per page; CRIMES' Pre-map
 // optimization does this once at startup instead of every epoch.
 func (d *Domain) PhysmapSnapshot() []mem.MFN {
-	d.hv.calls.Translate += len(d.physmap)
+	d.hv.countCalls(d, func(c *Hypercalls) { c.Translate += len(d.physmap) })
 	out := make([]mem.MFN, len(d.physmap))
 	copy(out, d.physmap)
 	return out
@@ -374,7 +438,7 @@ func (d *Domain) HarvestDirty(dst *mem.Bitmap) error {
 	if err := d.hv.faults.Check(FaultHarvestDirty); err != nil {
 		return fmt.Errorf("harvest dirty for domain %d: %w", d.id, err)
 	}
-	d.hv.calls.DirtyRead++
+	d.hv.countCalls(d, func(c *Hypercalls) { c.DirtyRead++ })
 	if err := dst.CopyFrom(d.dirty); err != nil {
 		return fmt.Errorf("harvest dirty for domain %d: %w", d.id, err)
 	}
@@ -411,14 +475,14 @@ func (d *Domain) WatchPage(pfn mem.PFN, access AccessKind) error {
 	if uint64(pfn) >= uint64(len(d.physmap)) {
 		return fmt.Errorf("watch pfn %d: %w", pfn, ErrBadAddress)
 	}
-	d.hv.calls.EventConfig++
+	d.hv.countCalls(d, func(c *Hypercalls) { c.EventConfig++ })
 	d.watches[pfn] |= access
 	return nil
 }
 
 // UnwatchPage removes all watches on a guest page.
 func (d *Domain) UnwatchPage(pfn mem.PFN) {
-	d.hv.calls.EventConfig++
+	d.hv.countCalls(d, func(c *Hypercalls) { c.EventConfig++ })
 	delete(d.watches, pfn)
 }
 

@@ -30,7 +30,7 @@ func (h *Hypervisor) MapForeign(d *Domain, pfns []mem.PFN) (*ForeignMapping, err
 		if err != nil {
 			return nil, fmt.Errorf("map foreign pfn %d: %w", pfn, err)
 		}
-		h.calls.MapPage++
+		h.countCalls(d, func(c *Hypercalls) { c.MapPage++ })
 		fm.pages[pfn] = frame
 	}
 	return fm, nil
@@ -50,7 +50,8 @@ func (fm *ForeignMapping) Len() int { return len(fm.pages) }
 
 // Unmap releases the mapping, one hypercall per page.
 func (fm *ForeignMapping) Unmap() {
-	fm.dom.hv.calls.UnmapPage += len(fm.pages)
+	n := len(fm.pages)
+	fm.dom.hv.countCalls(fm.dom, func(c *Hypercalls) { c.UnmapPage += n })
 	fm.pages = nil
 }
 
@@ -74,7 +75,7 @@ func (h *Hypervisor) MapAll(d *Domain) (*GlobalMapping, error) {
 		if err != nil {
 			return nil, fmt.Errorf("map all pfn %d: %w", pfn, err)
 		}
-		h.calls.MapPage++
+		h.countCalls(d, func(c *Hypercalls) { c.MapPage++ })
 		gm.frames[pfn] = frame
 	}
 	return gm, nil
@@ -93,6 +94,7 @@ func (gm *GlobalMapping) Len() int { return len(gm.frames) }
 
 // Unmap releases the global mapping.
 func (gm *GlobalMapping) Unmap() {
-	gm.dom.hv.calls.UnmapPage += len(gm.frames)
+	n := len(gm.frames)
+	gm.dom.hv.countCalls(gm.dom, func(c *Hypercalls) { c.UnmapPage += n })
 	gm.frames = nil
 }

@@ -34,9 +34,11 @@ var (
 	ErrBadFrame = errors.New("mem: bad machine frame")
 )
 
-// Machine models host physical memory as a pool of page frames.
-// It is not safe for concurrent use; the hypervisor serializes access.
+// Machine models host physical memory as a pool of page frames. The
+// allocator is safe for concurrent use: fleet workers create and destroy
+// domains (and resolve frames) from parallel epoch loops.
 type Machine struct {
+	mu        sync.RWMutex
 	frames    [][]byte
 	allocated []bool
 	free      []MFN
@@ -59,10 +61,20 @@ func NewMachine(frames int) *Machine {
 func (m *Machine) TotalFrames() int { return len(m.frames) }
 
 // FreeFrames reports how many frames remain unallocated.
-func (m *Machine) FreeFrames() int { return len(m.free) }
+func (m *Machine) FreeFrames() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.free)
+}
 
 // Alloc allocates a single zeroed machine frame.
 func (m *Machine) Alloc() (MFN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocLocked()
+}
+
+func (m *Machine) allocLocked() (MFN, error) {
 	if len(m.free) == 0 {
 		return InvalidMFN, ErrOutOfMemory
 	}
@@ -77,17 +89,20 @@ func (m *Machine) Alloc() (MFN, error) {
 	return mfn, nil
 }
 
-// AllocN allocates n machine frames.
+// AllocN allocates n machine frames atomically: either all n are
+// allocated or none are.
 func (m *Machine) AllocN(n int) ([]MFN, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("mem: alloc %d frames: negative count", n)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.free) < n {
 		return nil, fmt.Errorf("mem: alloc %d frames (%d free): %w", n, len(m.free), ErrOutOfMemory)
 	}
 	out := make([]MFN, n)
 	for i := range out {
-		mfn, err := m.Alloc()
+		mfn, err := m.allocLocked()
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +113,9 @@ func (m *Machine) AllocN(n int) ([]MFN, error) {
 
 // Free releases a machine frame back to the pool.
 func (m *Machine) Free(mfn MFN) error {
-	if err := m.check(mfn); err != nil {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(mfn); err != nil {
 		return err
 	}
 	m.allocated[mfn] = false
@@ -111,13 +128,15 @@ func (m *Machine) Free(mfn MFN) error {
 // the machine frame. This is the moral equivalent of Xen's
 // xenforeignmemory_map.
 func (m *Machine) Frame(mfn MFN) ([]byte, error) {
-	if err := m.check(mfn); err != nil {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.checkLocked(mfn); err != nil {
 		return nil, err
 	}
 	return m.frames[mfn], nil
 }
 
-func (m *Machine) check(mfn MFN) error {
+func (m *Machine) checkLocked(mfn MFN) error {
 	if uint64(mfn) >= uint64(len(m.frames)) || !m.allocated[mfn] {
 		return fmt.Errorf("mem: frame %d: %w", mfn, ErrBadFrame)
 	}
