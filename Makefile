@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test verify verify-quick bench pause-json bench-fleet
+.PHONY: build test verify verify-quick bench pause-json bench-fleet \
+	fmt-check ci bench-drift
 
 build:
 	$(GO) build ./...
@@ -16,10 +17,33 @@ verify: build
 
 # Short race pass over just the packages with real concurrency: the
 # sharded checkpoint copy, the concurrent detector scan, the controller
-# that drives both, and the fleet scheduler running many controllers on
-# one shared hypervisor.
+# that drives both, the fleet scheduler running many controllers on one
+# shared hypervisor, and the observability layer they all emit into.
+# The final step drives a traced fleet run end-to-end under the race
+# detector: many VMs emitting into one shared tracer and registry.
 verify-quick:
-	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core ./internal/hv ./internal/fleet
+	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core ./internal/hv ./internal/fleet ./internal/obs
+	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 \
+		-trace /tmp/crimes-verify-trace.jsonl -metrics /tmp/crimes-verify-metrics.txt >/dev/null
+
+# gofmt gate: fail listing any file that is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Benchmark drift gate: the BENCH_*.json artifacts are priced by the
+# deterministic cost model, so regenerating them must be a no-op. Any
+# diff means a change altered the priced pause path (or the artifacts
+# were not regenerated) and must be committed deliberately.
+bench-drift: pause-json bench-fleet
+	git diff --exit-code BENCH_pause.json BENCH_fleet.json
+
+# Everything the CI workflow runs, in the same order, for local use.
+ci: fmt-check build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+	$(MAKE) bench-drift
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -37,7 +38,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var (
 		wl         = flag.String("workload", "swaptions", "PARSEC workload profile to run")
 		epochs     = flag.Int("epochs", 5, "number of epochs to execute")
@@ -52,6 +53,8 @@ func run() error {
 		vms        = flag.Int("vms", 1, "number of co-located VMs to protect (fleet mode when > 1)")
 		stagger    = flag.Bool("stagger", false, "stagger fleet epoch boundaries (default bound: 1 VM paused at a time)")
 		maxPaused  = flag.Int("max-paused", 0, "fleet: max VMs paused/committing at once (0 = unbounded, or 1 with -stagger)")
+		traceOut   = flag.String("trace", "", "write a JSONL epoch trace (one event per phase) to this file")
+		metricsOut = flag.String("metrics", "", "write a Prometheus-format metrics dump to this file on exit")
 	)
 	flag.Parse()
 
@@ -73,6 +76,31 @@ func run() error {
 	}
 	if *bestEffort {
 		cfg.Safety = crimes.BestEffort
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		var traceW io.Writer
+		if *traceOut != "" {
+			tf, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if err := tf.Close(); err != nil && retErr == nil {
+					retErr = err
+				}
+			}()
+			traceW = tf
+		}
+		obsrv := crimes.NewObserver(traceW, *metricsOut != "")
+		cfg.Obs = obsrv
+		if *metricsOut != "" {
+			defer func() {
+				err := os.WriteFile(*metricsOut, []byte(obsrv.Metrics.DumpString()), 0o644)
+				if err != nil && retErr == nil {
+					retErr = err
+				}
+			}()
+		}
 	}
 	if *vms > 1 {
 		return runFleet(fleetOpts{

@@ -25,6 +25,7 @@ package crimes
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/analyze"
 	"repro/internal/checkpoint"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/hv"
 	"repro/internal/netbuf"
+	"repro/internal/obs"
 	"repro/internal/volatility"
 )
 
@@ -70,7 +72,32 @@ type (
 	// named hypercall, conduit, or disk operation (testing and chaos
 	// experiments).
 	FaultInjector = fault.Injector
+	// Observer is the observability hook hung off Config.Obs: a
+	// structured epoch trace plus a metrics registry. The nil default is
+	// a strict no-op.
+	Observer = obs.Observer
+	// TraceEvent is one structured trace record (one epoch phase of one
+	// VM).
+	TraceEvent = obs.Event
+	// MetricsRegistry collects counters, gauges, and histograms and
+	// renders a deterministic Prometheus-format text dump.
+	MetricsRegistry = obs.Registry
 )
+
+// NewObserver builds an observer for Config.Obs. When trace is non-nil
+// the epoch trace is written to it as JSONL (one event per line); when
+// metrics is set a fresh registry collects per-VM metrics, available
+// via Observer.Metrics.DumpString(). Either half may be disabled.
+func NewObserver(trace io.Writer, metrics bool) *Observer {
+	o := &Observer{}
+	if trace != nil {
+		o.Trace = obs.NewTracer(obs.NewJSONLSink(trace))
+	}
+	if metrics {
+		o.Metrics = obs.NewRegistry()
+	}
+	return o
+}
 
 // Safety modes (output buffering policy).
 const (

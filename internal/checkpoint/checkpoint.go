@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hv"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/remus"
 	"repro/internal/vdisk"
 )
@@ -111,7 +112,71 @@ type Checkpointer struct {
 	undoDisk []byte
 
 	report CommitReport
-	closed bool
+
+	// closeMu serializes Close so a double close — including concurrent
+	// closes from a fleet teardown racing a test's deferred cleanup — is
+	// a strict no-op.
+	closeMu sync.Mutex
+	closed  bool
+
+	// Observability (nil/inert when disabled).
+	obsr  *obs.Observer
+	obsVM string
+	met   ckptMetrics
+}
+
+// ckptMetrics are the checkpointer's pre-resolved metric handles; all
+// nil (inert) without a metrics registry.
+type ckptMetrics struct {
+	scanNs, undoNs, memcopyNs, diskcopyNs, shipNs *obs.Histogram
+	inFlight                                      *obs.Gauge
+	acked, retries, degraded                      *obs.Counter
+}
+
+// SetObserver wires the observability layer into the checkpointer and
+// its replication conduits. vm labels this VM's metric series. Safe to
+// call once, before the first instrumented commit.
+func (c *Checkpointer) SetObserver(o *obs.Observer, vm string) {
+	if !o.Enabled() {
+		return
+	}
+	c.obsr = o
+	c.obsVM = vm
+	reg := o.Registry()
+	phaseHist := func(phase string) *obs.Histogram {
+		return reg.Histogram("crimes_commit_phase_ns", obs.DurationBuckets(), "vm", vm, "phase", phase)
+	}
+	c.met = ckptMetrics{
+		scanNs:     phaseHist("scan"),
+		undoNs:     phaseHist("undo"),
+		memcopyNs:  phaseHist("memcopy"),
+		diskcopyNs: phaseHist("diskcopy"),
+		shipNs:     phaseHist("remoteship"),
+		inFlight:   reg.Gauge("crimes_remote_inflight", "vm", vm),
+		acked:      reg.Counter("crimes_remote_acked_total", "vm", vm),
+		retries:    reg.Counter("crimes_remote_ship_retries_total", "vm", vm),
+		degraded:   reg.Counter("crimes_remote_degraded_total", "vm", vm),
+	}
+	c.conduit.SetObserver(o, vm)
+	c.remoteConduit.SetObserver(o, vm)
+}
+
+// observeCommit folds the just-finished commit attempt's report into
+// the metric series.
+func (c *Checkpointer) observeCommit() {
+	t := c.report.Timings
+	c.met.scanNs.ObserveDuration(int64(t.Scan))
+	c.met.undoNs.ObserveDuration(int64(t.Undo))
+	c.met.memcopyNs.ObserveDuration(int64(t.MemCopy))
+	if t.DiskCopy > 0 {
+		c.met.diskcopyNs.ObserveDuration(int64(t.DiskCopy))
+	}
+	if t.RemoteShip > 0 {
+		c.met.shipNs.ObserveDuration(int64(t.RemoteShip))
+	}
+	c.met.inFlight.Set(int64(c.inFlight))
+	c.met.acked.Add(int64(c.report.RemoteAcked))
+	c.met.retries.Add(int64(c.report.RemoteRetries))
 }
 
 // CommitReport describes the recovery events and measured phase
@@ -281,6 +346,9 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 	}
 	c.remote = remote
 	c.remoteConduit = conduit
+	if c.obsr != nil {
+		conduit.SetObserver(c.obsr, c.obsVM)
+	}
 	// Initial full sync of the remote (always synchronous: replication
 	// is not active until the remote holds a complete snapshot).
 	if err := c.shipRemote(c.allPFNs()); err != nil {
@@ -426,6 +494,9 @@ func (c *Checkpointer) CheckpointBitmap(dirty *mem.Bitmap) (cost.Counts, error) 
 
 func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 	c.report = CommitReport{Timings: PhaseTimings{Workers: c.workers}}
+	if c.obsr != nil {
+		defer c.observeCommit()
+	}
 
 	// Epoch boundary: drain acknowledgements of previously pipelined
 	// remote shipments without blocking; a persistent ship failure
@@ -652,6 +723,7 @@ func (c *Checkpointer) degradeRemote(cause error) {
 	_ = c.hv.DestroyDomain(c.remote.ID())
 	c.remote, c.remoteConduit = nil, nil
 	c.report.RemoteDegraded = true
+	c.met.degraded.Inc()
 	c.report.Warnings = append(c.report.Warnings,
 		fmt.Sprintf("remote replication disabled, continuing local-only: %v", cause))
 }
@@ -902,7 +974,11 @@ func (c *Checkpointer) Rollback() error {
 // intact for post-mortem use. Any pipelined remote shipments are drained
 // first so the remote backup converges to the last committed epoch.
 // Both conduits are always closed; their errors, if any, are joined.
+// Close is idempotent and safe to call concurrently: a second close —
+// serial or racing the first — is a no-op returning nil.
 func (c *Checkpointer) Close() error {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
 	if c.closed {
 		return nil
 	}

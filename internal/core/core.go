@@ -27,6 +27,7 @@ import (
 	"repro/internal/hv"
 	"repro/internal/mem"
 	"repro/internal/netbuf"
+	"repro/internal/obs"
 	"repro/internal/vdisk"
 	"repro/internal/vmi"
 	"repro/internal/volatility"
@@ -120,6 +121,13 @@ type Config struct {
 	// once; a halted VM never retains its slot, so one incident cannot
 	// stall its neighbors' epoch loops.
 	PauseGate Gate
+	// Obs, when non-nil, receives the structured epoch trace (one event
+	// per phase: run, pause, scan, commit, replicate, rollback, replay,
+	// halt) and per-VM metrics. The nil default is a strict no-op: no
+	// events, no metrics, and no change to any cost-model output —
+	// emission never touches the virtual clock, so priced pause times
+	// are identical with and without an observer.
+	Obs *obs.Observer
 }
 
 func (c *Config) setDefaults() {
@@ -186,6 +194,27 @@ type Controller struct {
 	halted     bool
 
 	history []HistoryEntry
+
+	// Observability: obs is nil when disabled (every emit is then a
+	// single nil check); obsVM labels this VM's events and metric
+	// series; met holds the handles resolved once at construction.
+	obs   *obs.Observer
+	obsVM string
+	met   coreMetrics
+}
+
+// coreMetrics are the controller's pre-resolved metric handles. All are
+// nil (inert) when no metrics registry is configured.
+type coreMetrics struct {
+	epochs     *obs.Counter
+	findings   *obs.Counter
+	incidents  *obs.Counter
+	retries    *obs.Counter
+	pauseNs    *obs.Histogram // priced (virtual) pause per clean epoch
+	dirtyPages *obs.Histogram
+	gateWaitNs *obs.Histogram // measured wall-clock pause-gate wait
+
+	hcMap, hcUnmap, hcTranslate, hcDirtyRead, hcEvent *obs.Counter
 }
 
 // New creates a controller: it initializes introspection (init +
@@ -240,7 +269,101 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 		c.vmiBackup = bctx
 	}
 	c.lastState = g.CloneState()
+	if cfg.Obs.Enabled() {
+		c.obs = cfg.Obs
+		c.obsVM = c.dom.Name()
+		reg := cfg.Obs.Registry()
+		vm := c.obsVM
+		c.met = coreMetrics{
+			epochs:      reg.Counter("crimes_epochs_total", "vm", vm),
+			findings:    reg.Counter("crimes_findings_total", "vm", vm),
+			incidents:   reg.Counter("crimes_incidents_total", "vm", vm),
+			retries:     reg.Counter("crimes_retries_total", "vm", vm),
+			pauseNs:     reg.Histogram("crimes_pause_virtual_ns", obs.DurationBuckets(), "vm", vm),
+			dirtyPages:  reg.Histogram("crimes_dirty_pages", obs.PageBuckets(), "vm", vm),
+			gateWaitNs:  reg.Histogram("crimes_gate_wait_ns", obs.DurationBuckets(), "vm", vm),
+			hcMap:       reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "map_page"),
+			hcUnmap:     reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "unmap_page"),
+			hcTranslate: reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "translate"),
+			hcDirtyRead: reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "dirty_read"),
+			hcEvent:     reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "event_config"),
+		}
+		c.ckpt.SetObserver(cfg.Obs, vm)
+	}
 	return c, nil
+}
+
+// emit fills the event's identity fields (VM, epoch, virtual clock) and
+// forwards it to the observer's trace. Emission is strictly additive:
+// it never advances the virtual clock, so priced pause numbers are
+// byte-identical with tracing on or off.
+func (c *Controller) emit(ev obs.Event) {
+	if c.obs == nil {
+		return
+	}
+	ev.VM = c.obsVM
+	ev.Epoch = c.epoch
+	ev.VirtualNs = int64(c.virtualNow)
+	c.obs.Emit(ev)
+}
+
+// domainCalls sums the per-domain hypercall attribution across every
+// domain this VM's checkpointer touches (primary, backup, remote).
+func (c *Controller) domainCalls() hv.Hypercalls {
+	var total hv.Hypercalls
+	for _, d := range c.ckpt.Domains() {
+		total.Add(d.Calls())
+	}
+	return total
+}
+
+// hypercallDelta converts the since-epoch-start hypercall delta into
+// the obs representation, clamping negatives (a remote backup destroyed
+// mid-epoch takes its attributed calls with it) to zero.
+func hypercallDelta(before, after hv.Hypercalls) obs.Hypercalls {
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return obs.Hypercalls{
+		MapPage:     clamp(after.MapPage - before.MapPage),
+		UnmapPage:   clamp(after.UnmapPage - before.UnmapPage),
+		Translate:   clamp(after.Translate - before.Translate),
+		DirtyRead:   clamp(after.DirtyRead - before.DirtyRead),
+		EventConfig: clamp(after.EventConfig - before.EventConfig),
+	}
+}
+
+// recordHypercalls folds an epoch's hypercall delta into the per-VM
+// metric counters.
+func (c *Controller) recordHypercalls(d obs.Hypercalls) {
+	c.met.hcMap.Add(int64(d.MapPage))
+	c.met.hcUnmap.Add(int64(d.UnmapPage))
+	c.met.hcTranslate.Add(int64(d.Translate))
+	c.met.hcDirtyRead.Add(int64(d.DirtyRead))
+	c.met.hcEvent.Add(int64(d.EventConfig))
+}
+
+// recordEpochMetrics rolls one completed RunEpoch (clean or not) into
+// the per-VM metric series.
+func (c *Controller) recordEpochMetrics(res *EpochResult, err error) {
+	c.met.epochs.Add(1)
+	c.met.findings.Add(int64(len(res.Findings)))
+	if res.Incident != nil {
+		c.met.incidents.Add(1)
+	}
+	c.met.retries.Add(int64(res.Recovery.Retries))
+	if res.Recovery.Unwind != UnwindNone {
+		c.obs.Registry().Counter("crimes_unwinds_total", "vm", c.obsVM, "path", res.Recovery.Unwind).Add(1)
+	}
+	if t := res.Phases.Total(); t > 0 {
+		c.met.pauseNs.ObserveDuration(int64(t))
+	}
+	if err == nil && res.Incident == nil {
+		c.met.dirtyPages.Observe(float64(res.Counts.DirtyPages))
+	}
 }
 
 // Guest returns the protected guest.
@@ -410,32 +533,55 @@ type Timeline struct {
 // result is non-nil whenever the epoch reached the pause boundary; its
 // Recovery field reports the retries, degradations, and unwind path.
 func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, error) {
+	res, err := c.runEpoch(work)
+	if c.obs != nil && res != nil {
+		c.recordEpochMetrics(res, err)
+	}
+	return res, err
+}
+
+// runEpoch is RunEpoch's body; the wrapper folds the result into the
+// per-VM metrics when observability is enabled.
+func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, error) {
 	if c.halted {
 		return nil, ErrHalted
 	}
 	c.epoch++
 	res := &EpochResult{Epoch: c.epoch}
+	var hcBefore hv.Hypercalls
+	if c.obs != nil {
+		hcBefore = c.domainCalls()
+	}
 
 	// Speculative execution.
 	c.guest.BeginEpoch()
 	if work != nil {
 		if err := work(c.guest); err != nil {
+			c.emit(obs.Event{Phase: obs.PhaseRun, Err: err.Error()})
 			return nil, fmt.Errorf("core: epoch %d workload: %w", c.epoch, err)
 		}
 	}
 	c.virtualNow += c.cfg.EpochInterval
+	c.emit(obs.Event{Phase: obs.PhaseRun, DurNs: int64(c.cfg.EpochInterval)})
 
 	// Pause at the epoch boundary. With a PauseGate configured, a pause
 	// slot is acquired first and held until RunEpoch returns: the fleet
 	// scheduler uses this to stagger epoch boundaries so at most K
 	// co-located VMs are paused or committing at once.
 	if c.cfg.PauseGate != nil {
-		c.cfg.PauseGate.Acquire()
+		if c.obs != nil {
+			gateStart := time.Now()
+			c.cfg.PauseGate.Acquire()
+			c.met.gateWaitNs.ObserveDuration(int64(time.Since(gateStart)))
+		} else {
+			c.cfg.PauseGate.Acquire()
+		}
 		defer c.cfg.PauseGate.Release()
 	}
 	// Until Pause succeeds the domain is still Running, so a pause
 	// failure needs no unwind.
 	if err := c.retryOp(res, c.dom.Pause); err != nil {
+		c.emit(obs.Event{Phase: obs.PhasePause, Err: err.Error()})
 		res.VirtualTime = c.virtualNow
 		return res, fmt.Errorf("core: epoch %d pause: %w", c.epoch, err)
 	}
@@ -443,10 +589,15 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	// must take an unwind path that leaves it Running again (or
 	// deliberately halted) — never silently stranded in Suspended.
 	if err := c.retryOp(res, c.dom.Suspend); err != nil {
+		c.emit(obs.Event{Phase: obs.PhasePause, Err: err.Error(), Action: UnwindResume})
 		return res, c.unwindResume(res, false, fmt.Errorf("core: epoch %d suspend: %w", c.epoch, err))
 	}
 	if err := c.retryOp(res, func() error { return c.dom.HarvestDirty(c.dirty) }); err != nil {
+		c.emit(obs.Event{Phase: obs.PhasePause, Err: err.Error(), Action: UnwindResume})
 		return res, c.unwindResume(res, false, fmt.Errorf("core: epoch %d harvest: %w", c.epoch, err))
+	}
+	if c.obs != nil {
+		c.emit(obs.Event{Phase: obs.PhasePause, Pages: c.dirty.Count(), Retries: res.Recovery.Retries})
 	}
 
 	scanCounts := &detect.ScanCounts{}
@@ -462,8 +613,10 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			// output released. Resume with the harvested dirty pages
 			// merged back into the domain's log so the next epoch's
 			// audit and checkpoint still cover them.
+			c.emit(obs.Event{Phase: obs.PhaseScan, Err: err.Error(), Action: UnwindResume})
 			return res, c.unwindResume(res, true, fmt.Errorf("core: epoch %d audit: %w", c.epoch, err))
 		}
+		c.emit(obs.Event{Phase: obs.PhaseScan, Findings: len(findings)})
 	}
 
 	if len(findings) > 0 {
@@ -478,11 +631,16 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		res.Incident = inc
 		res.VirtualTime = c.virtualNow
 		c.halted = true
+		c.emit(obs.Event{Phase: obs.PhaseHalt, Action: "incident", Findings: len(findings)})
 		return res, nil
 	}
 
 	// Audit passed (or deferred): commit the epoch.
 	var counts cost.Counts
+	var commitStart time.Time
+	if c.obs != nil {
+		commitStart = time.Now()
+	}
 	err := c.retryOp(res, func() error {
 		var cerr error
 		counts, cerr = c.ckpt.CheckpointBitmap(c.dirty)
@@ -498,7 +656,24 @@ func (c *Controller) RunEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		// Mid-commit failure: the checkpointer's undo log has restored
 		// the backup to the last clean checkpoint; roll the primary
 		// back to it and resume.
+		c.emit(obs.Event{Phase: obs.PhaseCommit, Err: err.Error(), Action: UnwindRollback,
+			Retries: res.Recovery.Retries})
 		return res, c.unwindRollback(res, fmt.Errorf("core: epoch %d commit: %w", c.epoch, err))
+	}
+	if c.obs != nil {
+		delta := hypercallDelta(hcBefore, c.domainCalls())
+		c.recordHypercalls(delta)
+		c.emit(obs.Event{Phase: obs.PhaseCommit, DurNs: int64(time.Since(commitStart)),
+			Pages: counts.DirtyPages, Retries: res.Recovery.Retries, Hypercalls: &delta})
+		if rep.RemoteAcked > 0 || rep.RemoteInFlight > 0 || rep.RemoteDegraded || counts.RemotePages > 0 {
+			action := ""
+			if rep.RemoteDegraded {
+				action = "degraded"
+			}
+			c.emit(obs.Event{Phase: obs.PhaseReplicate, Pages: counts.RemotePages,
+				InFlight: rep.RemoteInFlight, Acked: rep.RemoteAcked,
+				Retries: rep.RemoteRetries, Action: action})
+		}
 	}
 	c.buf.Release()
 	c.lastState = c.guest.CloneState()
@@ -621,7 +796,10 @@ func (c *Controller) unwindRollback(res *EpochResult, cause error) error {
 	}
 	c.guest.RestoreState(c.lastState)
 	// Price the rollback as the incident path does: a full-VM memcpy.
-	c.virtualNow += time.Duration(c.cfg.Model.MemcpyByteNs * float64(c.dom.MemBytes()))
+	rollbackCost := time.Duration(c.cfg.Model.MemcpyByteNs * float64(c.dom.MemBytes()))
+	c.virtualNow += rollbackCost
+	c.emit(obs.Event{Phase: obs.PhaseRollback, DurNs: int64(rollbackCost),
+		Retries: res.Recovery.Retries})
 	if err := c.retryOp(res, c.dom.Resume); err != nil {
 		return c.haltDomain(res, errors.Join(cause, err))
 	}
@@ -635,6 +813,7 @@ func (c *Controller) unwindRollback(res *EpochResult, cause error) error {
 func (c *Controller) haltDomain(res *EpochResult, cause error) error {
 	c.halted = true
 	res.Recovery.Unwind = UnwindHalt
+	c.emit(obs.Event{Phase: obs.PhaseHalt, Action: UnwindHalt, Err: cause.Error()})
 	res.Recovery.Warnings = append(res.Recovery.Warnings,
 		fmt.Sprintf("VM deliberately halted after unrecoverable fault: %v", cause))
 	res.VirtualTime = c.virtualNow
@@ -671,10 +850,20 @@ func (c *Controller) respond(findings []detect.Finding, scanCounts *detect.ScanC
 	ops := c.guest.EpochOps()
 
 	if c.cfg.ReplayOnIncident && hasOverflow(findings) {
+		// Pinpointing rolls the VM back to the last clean checkpoint and
+		// replays the epoch's operations one at a time.
+		c.emit(obs.Event{Phase: obs.PhaseRollback, Action: "incident",
+			DurNs: int64(time.Duration(c.cfg.Model.MemcpyByteNs * float64(c.dom.MemBytes())))})
 		pin, err := analyze.ReplayPinpoint(c.guest, c.ckpt, c.lastState, ops, findings)
 		if err != nil && !errors.Is(err, analyze.ErrNotPinpointed) {
+			c.emit(obs.Event{Phase: obs.PhaseReplay, Err: err.Error()})
 			return nil, err
 		}
+		outcome := "not-pinpointed"
+		if pin != nil {
+			outcome = "pinpointed"
+		}
+		c.emit(obs.Event{Phase: obs.PhaseReplay, Action: outcome})
 		inc.Pinpoint = pin
 		if pin != nil {
 			if err := dumps.CaptureAttackDump(c.guest); err != nil {

@@ -10,6 +10,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -121,7 +122,12 @@ type Fleet struct {
 	cfg  Config
 	hv   *hv.Hypervisor
 	gate *pauseGate
-	vms  []*VM
+
+	// closeMu serializes Close against itself so concurrent teardowns
+	// (e.g. a test's deferred cleanup racing an explicit shutdown) see
+	// the second call as a no-op rather than double-destroying domains.
+	closeMu sync.Mutex
+	vms     []*VM
 }
 
 // New boots a fleet: one shared hypervisor sized for every guest and
@@ -309,6 +315,13 @@ func (f *Fleet) Report() *Report {
 		}
 		r.TotalIncidents += s.Incidents
 	}
+	if f.cfg.Core.Obs.Enabled() {
+		reg := f.cfg.Core.Obs.Registry()
+		reg.Gauge("crimes_fleet_vms").Set(int64(len(r.VMs)))
+		reg.Gauge("crimes_fleet_halted_vms").Set(int64(r.HaltedVMs))
+		reg.Gauge("crimes_fleet_max_paused").Set(int64(r.MaxPaused))
+		reg.Gauge("crimes_fleet_peak_paused").Set(int64(r.MaxPausedObserved))
+	}
 	return r
 }
 
@@ -346,15 +359,22 @@ func (r *Report) Render() string {
 
 // Close tears the fleet down: every controller is closed and every
 // domain it touched (primary, backup, remote) is destroyed, returning
-// all machine frames to the host pool.
+// all machine frames to the host pool. Close is idempotent and safe to
+// call concurrently — a second close, including one racing the first,
+// is a no-op, and a domain some other path already destroyed (a halted
+// VM torn down individually, a degraded remote) is skipped rather than
+// reported as an error.
 func (f *Fleet) Close() error {
+	f.closeMu.Lock()
+	defer f.closeMu.Unlock()
 	var first error
 	for _, vm := range f.vms {
 		if err := vm.Controller.Close(); err != nil && first == nil {
 			first = err
 		}
 		for _, d := range vm.Controller.Checkpointer().Domains() {
-			if err := f.hv.DestroyDomain(d.ID()); err != nil && first == nil {
+			err := f.hv.DestroyDomain(d.ID())
+			if err != nil && !errors.Is(err, hv.ErrNoDomain) && first == nil {
 				first = err
 			}
 		}

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/guestos"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// attackWork runs the workload on every VM and injects a buffer
+// overflow into the victim's second epoch, halting it on the incident.
+func attackWork(t *testing.T, vms, victim int) Work {
+	t.Helper()
+	spec, err := workload.ParsecByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := make([]*workload.Runner, vms)
+	for i := range runners {
+		runners[i] = workload.NewRunner(spec, 64)
+	}
+	return func(vm *VM, epoch int) func(*guestos.Guest) error {
+		r := runners[vm.Index]
+		return func(g *guestos.Guest) error {
+			if err := r.RunEpoch(g, 10*time.Millisecond); err != nil {
+				return err
+			}
+			if vm.Index == victim && epoch == 2 {
+				_, err := workload.InjectOverflow(g, r.PID(), 64, 16)
+				return err
+			}
+			return nil
+		}
+	}
+}
+
+// decodeTrace parses a JSONL trace back into events, preserving file
+// order.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []obs.Event {
+	t.Helper()
+	var events []obs.Event
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// byVM groups events per VM, preserving order.
+func byVM(events []obs.Event) map[string][]obs.Event {
+	out := make(map[string][]obs.Event)
+	for _, ev := range events {
+		out[ev.VM] = append(out[ev.VM], ev)
+	}
+	return out
+}
+
+// TestFleetTraceCleanSequences runs a traced fleet and replays the
+// JSONL trace: every VM must emit the exact clean per-epoch sequence,
+// and sequence numbers must match file order across the interleaved
+// writers.
+func TestFleetTraceCleanSequences(t *testing.T) {
+	const vms, epochs = 3, 2
+	var trace bytes.Buffer
+	o := &obs.Observer{
+		Trace:   obs.NewTracer(obs.NewJSONLSink(&trace)),
+		Metrics: obs.NewRegistry(),
+	}
+	f := newTestFleet(t, Config{
+		VMs:     vms,
+		Stagger: true,
+		Seed:    1,
+		Core:    core.Config{Obs: o},
+	})
+	rep := f.Run(epochs, testWork(t, vms, 10*time.Millisecond))
+	if rep.TotalEpochs != vms*epochs {
+		t.Fatalf("TotalEpochs = %d, want %d", rep.TotalEpochs, vms*epochs)
+	}
+
+	events := decodeTrace(t, &trace)
+	if len(events) != vms*epochs*4 {
+		t.Fatalf("trace has %d events, want %d", len(events), vms*epochs*4)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: sequence numbers must match file order", i, ev.Seq)
+		}
+	}
+	want := []obs.Phase{obs.PhaseRun, obs.PhasePause, obs.PhaseScan, obs.PhaseCommit}
+	grouped := byVM(events)
+	if len(grouped) != vms {
+		t.Fatalf("trace covers %d VMs, want %d", len(grouped), vms)
+	}
+	for vm, evs := range grouped {
+		if len(evs) != epochs*4 {
+			t.Fatalf("%s: %d events, want %d", vm, len(evs), epochs*4)
+		}
+		for e := 0; e < epochs; e++ {
+			for p, wantPhase := range want {
+				ev := evs[e*4+p]
+				if ev.Phase != wantPhase || ev.Epoch != e+1 {
+					t.Errorf("%s event %d = phase %q epoch %d, want %q epoch %d",
+						vm, e*4+p, ev.Phase, ev.Epoch, wantPhase, e+1)
+				}
+			}
+		}
+	}
+
+	// The shared registry carries per-VM series plus fleet gauges.
+	reg := o.Registry()
+	for _, s := range rep.VMs {
+		if got := reg.Counter("crimes_epochs_total", "vm", s.Name).Value(); got != epochs {
+			t.Errorf("%s crimes_epochs_total = %d, want %d", s.Name, got, epochs)
+		}
+	}
+	if got := reg.Gauge("crimes_fleet_vms").Value(); got != vms {
+		t.Errorf("crimes_fleet_vms = %d, want %d", got, vms)
+	}
+	if got := reg.Gauge("crimes_fleet_peak_paused").Value(); got != 1 {
+		t.Errorf("crimes_fleet_peak_paused = %d, want 1 under full stagger", got)
+	}
+	// The dump is deterministic: rendering twice yields identical bytes.
+	if a, b := reg.DumpString(), reg.DumpString(); a != b {
+		t.Error("metrics dump not deterministic across renders")
+	}
+}
+
+// TestFleetTraceRollbackSequence injects a mid-commit fault into a
+// traced single-VM fleet run and replays the failing epoch's exact
+// event sequence, rollback included.
+func TestFleetTraceRollbackSequence(t *testing.T) {
+	var trace bytes.Buffer
+	o := &obs.Observer{
+		Trace:   obs.NewTracer(obs.NewJSONLSink(&trace)),
+		Metrics: obs.NewRegistry(),
+	}
+	f := newTestFleet(t, Config{
+		VMs:  1,
+		Seed: 1,
+		Core: core.Config{Obs: o},
+	})
+	inj := fault.NewInjector()
+	f.HV().InjectFaults(inj)
+	work := testWork(t, 1, 10*time.Millisecond)
+
+	if rep := f.Run(1, work); rep.VMs[0].Err != "" {
+		t.Fatalf("clean epoch: %s", rep.VMs[0].Err)
+	}
+	inj.FailNext(checkpoint.FaultCopyPage, 1, false)
+	rep := f.Run(1, work)
+	if rep.VMs[0].Unwinds != 1 {
+		t.Fatalf("unwinds = %d, want 1 (err=%q)", rep.VMs[0].Unwinds, rep.VMs[0].Err)
+	}
+
+	events := decodeTrace(t, &trace)
+	var ep2 []obs.Phase
+	for _, ev := range events {
+		if ev.Epoch == 2 {
+			ep2 = append(ep2, ev.Phase)
+		}
+	}
+	want := []obs.Phase{obs.PhaseRun, obs.PhasePause, obs.PhaseScan,
+		obs.PhaseCommit, obs.PhaseRollback}
+	if len(ep2) != len(want) {
+		t.Fatalf("epoch 2 phases = %v, want %v", ep2, want)
+	}
+	for i := range want {
+		if ep2[i] != want[i] {
+			t.Fatalf("epoch 2 phases = %v, want %v", ep2, want)
+		}
+	}
+	if got := o.Registry().Counter("crimes_unwinds_total", "vm", "vm0", "path", core.UnwindRollback).Value(); got != 1 {
+		t.Errorf("crimes_unwinds_total{path=rollback} = %d, want 1", got)
+	}
+}
+
+// TestFleetCloseIdempotent closes a fleet holding a halted VM through
+// every double-close path: the halted VM's own controller first, then
+// the fleet, then the fleet again. Every call must succeed.
+func TestFleetCloseIdempotent(t *testing.T) {
+	const vms = 2
+	f, err := New(Config{VMs: vms, Seed: 1})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	rep := f.Run(2, attackWork(t, vms, 0))
+	if rep.HaltedVMs != 1 {
+		t.Fatalf("halted VMs = %d, want 1", rep.HaltedVMs)
+	}
+
+	// Close the halted VM's controller directly (as an operator reaping
+	// a quarantined VM would), then close the fleet, which closes every
+	// controller again.
+	if err := f.VMs()[0].Controller.Close(); err != nil {
+		t.Fatalf("halted VM close: %v", err)
+	}
+	if err := f.VMs()[0].Controller.Close(); err != nil {
+		t.Fatalf("halted VM double close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("fleet close after VM close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("fleet double close: %v", err)
+	}
+}
+
+// TestFleetCloseConcurrent races fleet and controller closes; under the
+// race detector this is the regression test for the unsynchronized
+// close paths.
+func TestFleetCloseConcurrent(t *testing.T) {
+	const vms = 2
+	f, err := New(Config{VMs: vms, Seed: 1})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	f.Run(1, testWork(t, vms, 10*time.Millisecond))
+
+	ctl := f.VMs()[0].Controller
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ctl.Close(); err != nil {
+				t.Errorf("concurrent controller close: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f.Close(); err != nil {
+				t.Errorf("concurrent fleet close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

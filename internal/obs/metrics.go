@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil counter is an
+// inert no-op, so call sites need no guards when metrics are disabled.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n (negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on the nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is a metric that can go up and down. The nil gauge is a no-op.
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreInt64(&g.v, v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	atomic.AddInt64(&g.v, delta)
+}
+
+// Value returns the current value (0 on the nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf bucket at the end. The nil histogram is a no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds, excluding +Inf
+	buckets []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+	count   uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration-like value given in nanoseconds.
+func (h *Histogram) ObserveDuration(ns int64) { h.Observe(float64(ns)) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Buckets returns the bucket upper bounds (excluding +Inf) and the
+// per-bucket observation counts (including the trailing +Inf bucket).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	counts = append([]uint64(nil), h.buckets...)
+	return bounds, counts
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets are default nanosecond buckets spanning 1µs to 10s.
+func DurationBuckets() []float64 { return ExpBuckets(1e3, 10, 8) }
+
+// PageBuckets are default buckets for page/block counts.
+func PageBuckets() []float64 { return ExpBuckets(1, 10, 6) }
+
+// metricKind discriminates the families a registry holds.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is all series of one metric name.
+type family struct {
+	kind   metricKind
+	series map[string]any // label signature -> *Counter/*Gauge/*Histogram
+}
+
+// Registry is a concurrency-safe collection of metric families. Series
+// are created on first use and identified by name plus a sorted label
+// signature, so the text dump is deterministic regardless of creation
+// or update order. The nil registry hands out nil (inert) handles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSig renders "k1,v1,k2,v2,..." pairs as a canonical, sorted
+// Prometheus label block ({} for no labels).
+func labelSig(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q (want key/value pairs)", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// get returns the series for name+labels, creating it with mk on first
+// use. It panics if the name is already registered with another kind —
+// a programmer error, not a runtime condition.
+func (r *Registry) get(name string, kind metricKind, labels []string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{kind: kind, series: make(map[string]any)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	sig := labelSig(labels)
+	m, ok := f.series[sig]
+	if !ok {
+		m = mk()
+		f.series[sig] = m
+	}
+	return m
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Labels are alternating key/value pairs. Nil-safe.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+// Nil-safe.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket upper bounds on first use (later calls reuse the
+// existing series and ignore buckets). Bounds must be sorted ascending.
+// Nil-safe.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, kindHistogram, labels, func() any {
+		bounds := append([]float64(nil), buckets...)
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not sorted: %v", name, bounds))
+		}
+		return &Histogram{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// formatValue renders a float deterministically ('g', shortest
+// round-trip form; integral values print without a decimal point).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Dump writes the registry in Prometheus text format. Output is
+// deterministic: families sort by name, series by label signature, and
+// histogram buckets are cumulative with a trailing +Inf bucket. The
+// same sequence of metric updates therefore always produces identical
+// bytes.
+func (r *Registry) Dump(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		sigs := make([]string, 0, len(f.series))
+		for s := range f.series {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			switch m := f.series[sig].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, sig, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", name, sig, m.Value())
+			case *Histogram:
+				dumpHistogram(&b, name, sig, m)
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DumpString returns the deterministic text dump as a string.
+func (r *Registry) DumpString() string {
+	var b strings.Builder
+	_ = r.Dump(&b)
+	return b.String()
+}
+
+// dumpHistogram renders one histogram series with cumulative buckets.
+// sig is the canonical label block ("{...}" or empty); the le label is
+// appended inside it.
+func dumpHistogram(b *strings.Builder, name, sig string, h *Histogram) {
+	h.mu.Lock()
+	bounds := append([]float64(nil), h.bounds...)
+	counts := append([]uint64(nil), h.buckets...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	withLE := func(le string) string {
+		if sig == "" {
+			return `{le="` + le + `"}`
+		}
+		return sig[:len(sig)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(formatValue(bound)), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, sig, formatValue(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, sig, count)
+}

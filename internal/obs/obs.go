@@ -1,0 +1,36 @@
+package obs
+
+// Observer bundles the two halves of the observability layer: a tracer
+// for the structured epoch trace and a registry for metrics. Either
+// half may be nil independently; the nil *Observer disables both. It is
+// the value hung off core.Config.Obs (and shared by a whole fleet —
+// events carry the VM id and metric series carry a vm label, so one
+// observer serves many co-located VMs).
+type Observer struct {
+	// Trace receives one event per epoch phase.
+	Trace *Tracer
+	// Metrics is the metrics registry instrumented layers record into.
+	Metrics *Registry
+}
+
+// Emit forwards an event to the trace. Nil-safe.
+func (o *Observer) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	o.Trace.Emit(ev)
+}
+
+// Registry returns the metrics registry (nil when absent, which hands
+// out inert metric handles). Nil-safe.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Enabled reports whether the observer has a trace or metrics half.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Trace != nil || o.Metrics != nil)
+}

@@ -16,9 +16,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/hv"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned when sending on a closed conduit.
@@ -58,6 +60,23 @@ type Conduit struct {
 	closed  bool
 	done    chan struct{}
 	restErr error
+
+	// Observability handles (nil/inert when disabled). Set once via
+	// SetObserver before the conduit carries instrumented traffic.
+	ackNs     *obs.Histogram
+	sentBytes *obs.Counter
+}
+
+// SetObserver wires the conduit's metrics: the backup's ack round-trip
+// latency and the encrypted bytes shipped. vm labels the series.
+// Nil-safe on both the conduit and the observer.
+func (c *Conduit) SetObserver(o *obs.Observer, vm string) {
+	if c == nil || !o.Enabled() {
+		return
+	}
+	reg := o.Registry()
+	c.ackNs = reg.Histogram("crimes_remote_ack_ns", obs.DurationBuckets(), "vm", vm)
+	c.sentBytes = reg.Counter("crimes_conduit_bytes_total", "vm", vm)
 }
 
 // NewConduit starts a restore process for the backup domain and returns
@@ -138,6 +157,7 @@ func (c *Conduit) Send(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}
+	c.sentBytes.Add(int64(len(buf)))
 	return nil
 }
 
@@ -147,12 +167,19 @@ func (c *Conduit) Send(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error
 func (c *Conduit) AwaitAck() error {
 	c.ackMu.Lock()
 	defer c.ackMu.Unlock()
+	var start time.Time
+	if c.ackNs != nil {
+		start = time.Now()
+	}
 	var ack [1]byte
 	if _, err := io.ReadFull(c.ackConn, ack[:]); err != nil {
 		return fmt.Errorf("remus: await ack: %w", err)
 	}
 	if ack[0] != ackByte {
 		return fmt.Errorf("remus: bad ack %#x", ack[0])
+	}
+	if c.ackNs != nil {
+		c.ackNs.ObserveDuration(int64(time.Since(start)))
 	}
 	return nil
 }
