@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test verify verify-quick bench pause-json bench-fleet \
-	fmt-check ci bench-drift
+	bench-scan fmt-check ci bench-drift
 
 build:
 	$(GO) build ./...
@@ -35,8 +35,8 @@ fmt-check:
 # deterministic cost model, so regenerating them must be a no-op. Any
 # diff means a change altered the priced pause path (or the artifacts
 # were not regenerated) and must be committed deliberately.
-bench-drift: pause-json bench-fleet
-	git diff --exit-code BENCH_pause.json BENCH_fleet.json
+bench-drift: pause-json bench-fleet bench-scan
+	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json
 
 # Everything the CI workflow runs, in the same order, for local use.
 ci: fmt-check build
@@ -57,3 +57,9 @@ pause-json:
 # wall-clock inputs), so the output is byte-stable across runs.
 bench-fleet:
 	$(GO) run ./cmd/crimes-bench -fleet-json BENCH_fleet.json
+
+# Regenerate the machine-readable scan-path cache benchmark. This one
+# runs the real controller (two arms: per-epoch mappings vs persistent
+# cache) with Workers=1 and a fixed seed, so it too is byte-stable.
+bench-scan:
+	$(GO) run ./cmd/crimes-bench -scan-json BENCH_scan.json

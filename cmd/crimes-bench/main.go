@@ -30,6 +30,7 @@ func run() error {
 		csvDir    = flag.String("csv", "", "also write <id>.csv files for plottable figures into this directory")
 		pauseJSON = flag.String("pause-json", "", "write the parallel pause-path benchmark as JSON to this path and exit")
 		fleetJSON = flag.String("fleet-json", "", "write the fleet-scheduling benchmark as JSON to this path and exit")
+		scanJSON  = flag.String("scan-json", "", "write the scan-path cache benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -59,6 +60,17 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *fleetJSON, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *fleetJSON)
+		return nil
+	}
+	if *scanJSON != "" {
+		out, err := experiments.ScanSweepJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*scanJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *scanJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *scanJSON)
 		return nil
 	}
 	if *exp != "" {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/detect"
 	"repro/internal/fleet"
 	"repro/internal/guestos"
@@ -50,6 +51,7 @@ func run() (retErr error) {
 		modules    = flag.String("modules", "default", "comma-separated detector modules (see -modules list)")
 		faultSpec  = flag.String("fault", "", "inject a fault: site:N[:transient] fails the Nth call at site (e.g. hv.suspend:2, remus.send:1:transient)")
 		workers    = flag.Int("workers", 0, "pause-path worker pool size (0 = GOMAXPROCS, 1 = exact serial path)")
+		scanCache  = flag.String("scan-cache", "off", "audit read strategy: off (direct reads), uncached (per-epoch mappings), on (persistent cache + incremental walks)")
 		vms        = flag.Int("vms", 1, "number of co-located VMs to protect (fleet mode when > 1)")
 		stagger    = flag.Bool("stagger", false, "stagger fleet epoch boundaries (default bound: 1 VM paused at a time)")
 		maxPaused  = flag.Int("max-paused", 0, "fleet: max VMs paused/committing at once (0 = unbounded, or 1 with -stagger)")
@@ -68,11 +70,16 @@ func run() (retErr error) {
 	if err != nil {
 		return err
 	}
+	scMode, err := crimes.ParseScanCacheMode(*scanCache)
+	if err != nil {
+		return err
+	}
 	cfg := crimes.Config{
 		EpochInterval:    *interval,
 		ReplayOnIncident: true,
 		Modules:          mods,
 		Workers:          *workers,
+		ScanCache:        scMode,
 	}
 	if *bestEffort {
 		cfg.Safety = crimes.BestEffort
@@ -178,6 +185,16 @@ func run() (retErr error) {
 		sys.Controller.Epoch(), sys.Controller.VirtualTime().Round(time.Millisecond),
 		sys.Controller.TotalPause().Round(time.Millisecond),
 		100*float64(sys.Controller.TotalPause())/float64(sys.Controller.VirtualTime()))
+	if sc := sys.Controller.ScanCacheTotals(); sc != (cost.ScanCacheCounts{}) {
+		rate := 0.0
+		if sc.CacheHits+sc.CacheMisses > 0 {
+			rate = 100 * float64(sc.CacheHits) / float64(sc.CacheHits+sc.CacheMisses)
+		}
+		used, capacity := sys.Controller.ScanCacheLive()
+		fmt.Printf("scan cache: hits=%d misses=%d (%.1f%% hit) unmaps=%d swept=%d memo=%d/%d live=%d/%d pages\n",
+			sc.CacheHits, sc.CacheMisses, rate, sc.CacheUnmaps, sc.CacheSwept,
+			sc.MemoHits, sc.MemoHits+sc.MemoMisses, used, capacity)
+	}
 	return nil
 }
 

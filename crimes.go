@@ -61,6 +61,10 @@ type (
 	Pinpoint = analyze.Pinpoint
 	// ScanMode selects synchronous or asynchronous audits.
 	ScanMode = core.ScanMode
+	// ScanCacheMode selects the audit's guest-memory read strategy
+	// (direct, per-epoch mappings, or a persistent mapping cache with
+	// incremental walks).
+	ScanCacheMode = core.ScanCacheMode
 	// Recovery reports the retries, degradations, and unwind path an
 	// epoch needed (zero value: no recovery at all).
 	Recovery = core.Recovery
@@ -110,6 +114,17 @@ const (
 	ScanSync  = core.ScanSync
 	ScanAsync = core.ScanAsync
 )
+
+// Scan-cache modes (Config.ScanCache). Off is the default and
+// reproduces the uncached scan path exactly.
+const (
+	ScanCacheOff      = core.ScanCacheOff
+	ScanCacheUncached = core.ScanCacheUncached
+	ScanCacheOn       = core.ScanCacheOn
+)
+
+// ParseScanCacheMode parses "off", "uncached", or "on" (flag values).
+var ParseScanCacheMode = core.ParseScanCacheMode
 
 // Checkpointing optimization levels (§4.1).
 const (

@@ -70,6 +70,57 @@ func (m ScanMode) String() string {
 	return "sync"
 }
 
+// ScanCacheMode selects the audit's guest-memory read strategy.
+type ScanCacheMode int
+
+// Scan-cache modes. The zero value is ScanCacheOff, so existing
+// configurations are untouched: with the cache off the audit reads the
+// domain directly, exactly as before, and every priced number is
+// bit-identical to previous releases (mirroring how Workers=1
+// reproduces the serial pause path).
+const (
+	// ScanCacheOff reads guest memory directly with no modelled mapping
+	// cost — today's behavior, byte-for-byte.
+	ScanCacheOff ScanCacheMode = iota
+	// ScanCacheUncached routes the audit through per-epoch foreign
+	// mappings: every page the scan touches pays one MapPage, and all
+	// mappings are torn down after each audit. This models an
+	// introspection stack with no page cache (LibVMI with its cache
+	// disabled) and is the baseline the cached mode is measured against.
+	ScanCacheUncached
+	// ScanCacheOn keeps a bounded LRU of foreign mappings alive across
+	// epochs and memoizes kernel-structure walks, both invalidated at
+	// each epoch boundary by the harvested dirty bitmap. Steady-state
+	// scan cost becomes O(dirty pages intersecting structures).
+	ScanCacheOn
+)
+
+// String renders the scan-cache mode.
+func (m ScanCacheMode) String() string {
+	switch m {
+	case ScanCacheUncached:
+		return "uncached"
+	case ScanCacheOn:
+		return "on"
+	default:
+		return "off"
+	}
+}
+
+// ParseScanCacheMode parses "off", "uncached", or "on".
+func ParseScanCacheMode(s string) (ScanCacheMode, error) {
+	switch s {
+	case "off", "":
+		return ScanCacheOff, nil
+	case "uncached":
+		return ScanCacheUncached, nil
+	case "on":
+		return ScanCacheOn, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scan-cache mode %q (want off|uncached|on)", s)
+	}
+}
+
 // Config configures a CRIMES controller.
 type Config struct {
 	// EpochInterval is the speculative execution window (10 ms to a few
@@ -113,6 +164,20 @@ type Config struct {
 	// exact serial path, which reproduces the paper's Table 1 / Figure 3
 	// / Figure 4 numbers bit-for-bit.
 	Workers int
+	// ScanCache selects the audit's read strategy: ScanCacheOff (the
+	// default — direct reads, no modelled mapping cost, bit-identical to
+	// previous releases), ScanCacheUncached (per-epoch mappings, the
+	// no-page-cache baseline), or ScanCacheOn (cross-epoch LRU mapping
+	// cache plus incremental walk memo, invalidated by the dirty
+	// bitmap). Only the synchronous audit reads through the cache; the
+	// asynchronous mode scans the backup domain, whose contents change
+	// wholesale at each commit with no usable dirty bitmap, so it
+	// ignores this setting.
+	ScanCache ScanCacheMode
+	// ScanCacheCapacity bounds the page-mapping cache, in pages; 0 (or
+	// a value past the domain size) caches up to the whole domain. A
+	// fleet divides its host-wide mapping budget across VMs with this.
+	ScanCacheCapacity int
 	// PauseGate, when non-nil, is acquired immediately before the
 	// domain pauses at the epoch boundary and released when RunEpoch
 	// returns — by which point the domain has resumed, unwound, or been
@@ -187,6 +252,14 @@ type Controller struct {
 	dirty     *mem.Bitmap
 	lastState *guestos.State
 
+	// Scan-path acceleration (nil / unused when cfg.ScanCache is off):
+	// scanCache is the cross-epoch page-mapping cache the audit reads
+	// through, scanMemo the incremental walk memo (ScanCacheOn only),
+	// and scanStats the cumulative cache counters for fleet roll-ups.
+	scanCache *hv.CachedMapping
+	scanMemo  *vmi.WalkMemo
+	scanStats cost.ScanCacheCounts
+
 	epoch      int
 	virtualNow time.Duration
 	setupTime  time.Duration
@@ -215,6 +288,10 @@ type coreMetrics struct {
 	gateWaitNs *obs.Histogram // measured wall-clock pause-gate wait
 
 	hcMap, hcUnmap, hcTranslate, hcDirtyRead, hcEvent *obs.Counter
+
+	// Scan-cache series; registered only when the scan cache is enabled
+	// so cache-off metric dumps are unchanged.
+	scHits, scMisses, scUnmaps, scSwept, scMemoHits, scMemoMisses *obs.Counter
 }
 
 // New creates a controller: it initializes introspection (init +
@@ -230,12 +307,28 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 		dirty: mem.NewBitmap(g.Domain().Pages()),
 	}
 
-	ctx, err := vmi.NewContext(c.dom, g.Profile(), g.SystemMap())
+	var reader vmi.PhysReader = c.dom
+	if cfg.ScanCache != ScanCacheOff {
+		c.scanCache = hv.NewCachedMapping(c.dom, cfg.ScanCacheCapacity)
+		reader = c.scanCache
+	}
+	ctx, err := vmi.NewContext(reader, g.Profile(), g.SystemMap())
 	if err != nil {
 		return nil, fmt.Errorf("core: vmi init: %w", err)
 	}
 	if err := ctx.Preprocess(); err != nil {
 		return nil, fmt.Errorf("core: vmi preprocess: %w", err)
+	}
+	switch cfg.ScanCache {
+	case ScanCacheOn:
+		// Preprocess warmed the cache; keep those mappings and start
+		// memoizing walks from here (known-good state is now captured).
+		c.scanMemo = vmi.NewWalkMemo()
+		ctx.SetMemo(c.scanMemo)
+	case ScanCacheUncached:
+		// The uncached baseline maps per epoch: drop the preprocess
+		// warmup so every audit starts cold.
+		c.scanCache.Flush()
 	}
 	c.vmiCtx = ctx
 	c.setupTime += time.Duration(cfg.Model.VMIInitNs + cfg.Model.VMIPreprocessNs)
@@ -287,6 +380,14 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 			hcTranslate: reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "translate"),
 			hcDirtyRead: reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "dirty_read"),
 			hcEvent:     reg.Counter("crimes_hypercalls_total", "vm", vm, "op", "event_config"),
+		}
+		if cfg.ScanCache != ScanCacheOff {
+			c.met.scHits = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "hit")
+			c.met.scMisses = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "miss")
+			c.met.scUnmaps = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "unmap")
+			c.met.scSwept = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "sweep")
+			c.met.scMemoHits = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "memo_hit")
+			c.met.scMemoMisses = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "memo_miss")
 		}
 		c.ckpt.SetObserver(cfg.Obs, vm)
 	}
@@ -346,6 +447,35 @@ func (c *Controller) recordHypercalls(d obs.Hypercalls) {
 	c.met.hcEvent.Add(int64(d.EventConfig))
 }
 
+// scanCacheDelta converts since-snapshot cache and memo counters into
+// one epoch's cost-model counts.
+func (c *Controller) scanCacheDelta(cacheBefore hv.ScanCacheStats, memoBefore vmi.MemoStats) cost.ScanCacheCounts {
+	d := c.scanCache.Stats().Sub(cacheBefore)
+	out := cost.ScanCacheCounts{
+		CacheHits:   d.Hits,
+		CacheMisses: d.Misses,
+		CacheUnmaps: d.Unmaps,
+		CacheSwept:  d.Swept,
+	}
+	if c.scanMemo != nil {
+		md := c.scanMemo.Stats().Sub(memoBefore)
+		out.MemoHits = md.Hits
+		out.MemoMisses = md.Misses
+	}
+	return out
+}
+
+// recordScanCache folds an epoch's scan-cache delta into the per-VM
+// metric counters.
+func (c *Controller) recordScanCache(d cost.ScanCacheCounts) {
+	c.met.scHits.Add(int64(d.CacheHits))
+	c.met.scMisses.Add(int64(d.CacheMisses))
+	c.met.scUnmaps.Add(int64(d.CacheUnmaps))
+	c.met.scSwept.Add(int64(d.CacheSwept))
+	c.met.scMemoHits.Add(int64(d.MemoHits))
+	c.met.scMemoMisses.Add(int64(d.MemoMisses))
+}
+
 // recordEpochMetrics rolls one completed RunEpoch (clean or not) into
 // the per-VM metric series.
 func (c *Controller) recordEpochMetrics(res *EpochResult, err error) {
@@ -389,6 +519,20 @@ func (c *Controller) SetupTime() time.Duration { return c.setupTime }
 // Epoch returns the number of completed epochs.
 func (c *Controller) Epoch() int { return c.epoch }
 
+// ScanCacheTotals returns the cumulative scan-path cache counters across
+// all epochs (all zero when the scan cache is disabled). Fleet
+// reporting rolls these up per VM.
+func (c *Controller) ScanCacheTotals() cost.ScanCacheCounts { return c.scanStats }
+
+// ScanCacheLive reports the page-mapping cache's current size and
+// capacity in pages (0, 0 when the scan cache is disabled).
+func (c *Controller) ScanCacheLive() (used, capacity int) {
+	if c.scanCache == nil {
+		return 0, 0
+	}
+	return c.scanCache.Len(), c.scanCache.Cap()
+}
+
 // Halted reports whether an incident has stopped the VM.
 func (c *Controller) Halted() bool { return c.halted }
 
@@ -418,6 +562,9 @@ type EpochResult struct {
 	// Recovery describes the fault-recovery actions the controller took
 	// during the epoch (retries, degradations, the unwind path).
 	Recovery Recovery
+	// ScanCache is the epoch's scan-path cache activity (page-mapping
+	// cache plus walk memo); zero when the scan cache is disabled.
+	ScanCache cost.ScanCacheCounts
 }
 
 // Unwind paths a failing epoch can take; see Recovery.Unwind.
@@ -600,6 +747,25 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		c.emit(obs.Event{Phase: obs.PhasePause, Pages: c.dirty.Count(), Retries: res.Recovery.Retries})
 	}
 
+	// Epoch-boundary cache invalidation: pages the guest wrote during
+	// the epoch must be remapped and the structure walks that touched
+	// them re-run; everything else stays cached across the boundary. The
+	// counter snapshots are taken first so the sweep itself is billed to
+	// this epoch's scan phase.
+	scanActive := c.scanCache != nil && c.cfg.Scan == ScanSync
+	var cacheBefore hv.ScanCacheStats
+	var memoBefore vmi.MemoStats
+	if scanActive {
+		cacheBefore = c.scanCache.Stats()
+		if c.scanMemo != nil {
+			memoBefore = c.scanMemo.Stats()
+		}
+		if c.cfg.ScanCache == ScanCacheOn {
+			c.scanCache.Invalidate(c.dirty)
+			c.scanMemo.Invalidate(c.dirty)
+		}
+	}
+
 	scanCounts := &detect.ScanCounts{}
 	var findings []detect.Finding
 	if c.cfg.Scan == ScanSync {
@@ -608,6 +774,11 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			VMI: c.vmiCtx, Dirty: c.dirty, Counts: scanCounts,
 			Packets: c.buf.PendingPackets(), DiskWrites: c.buf.PendingDisks(),
 		})
+		if scanActive && c.cfg.ScanCache == ScanCacheUncached {
+			// The no-page-cache baseline tears every mapping down after
+			// each audit, so the next epoch maps from scratch.
+			c.scanCache.Flush()
+		}
 		if err != nil {
 			// Pre-commit audit failure: nothing was committed and no
 			// output released. Resume with the harvested dirty pages
@@ -616,7 +787,20 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			c.emit(obs.Event{Phase: obs.PhaseScan, Err: err.Error(), Action: UnwindResume})
 			return res, c.unwindResume(res, true, fmt.Errorf("core: epoch %d audit: %w", c.epoch, err))
 		}
-		c.emit(obs.Event{Phase: obs.PhaseScan, Findings: len(findings)})
+		ev := obs.Event{Phase: obs.PhaseScan, Findings: len(findings)}
+		if scanActive {
+			res.ScanCache = c.scanCacheDelta(cacheBefore, memoBefore)
+			c.scanStats.Add(res.ScanCache)
+			if c.obs != nil {
+				c.recordScanCache(res.ScanCache)
+				ev.ScanCache = &obs.ScanCache{
+					Hits: res.ScanCache.CacheHits, Misses: res.ScanCache.CacheMisses,
+					Unmaps: res.ScanCache.CacheUnmaps, Swept: res.ScanCache.CacheSwept,
+					MemoHits: res.ScanCache.MemoHits, MemoMisses: res.ScanCache.MemoMisses,
+				}
+			}
+		}
+		c.emit(ev)
 	}
 
 	if len(findings) > 0 {
@@ -738,6 +922,13 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		// The audit does not extend the pause in async mode.
 		res.Phases.VMI = 0
 	}
+	if scanActive {
+		// Price the audit's real mapping traffic: map/unmap hypercalls
+		// the cache performed plus its lookup/sweep/memo bookkeeping.
+		// The base VMI term above already shrank on memo hits (memoized
+		// walks report zero nodes walked).
+		res.Phases.VMI += c.cfg.Model.ScanCacheOverhead(res.ScanCache)
+	}
 	c.totalPause += res.Phases.Total()
 	c.virtualNow += res.Phases.Total()
 	res.VirtualTime = c.virtualNow
@@ -795,6 +986,15 @@ func (c *Controller) unwindRollback(res *EpochResult, cause error) error {
 		return c.haltDomain(res, errors.Join(cause, err))
 	}
 	c.guest.RestoreState(c.lastState)
+	// The restore rewrote guest memory without passing through the dirty
+	// log, so no bitmap describes what changed: drop every cached
+	// mapping and memoized walk wholesale.
+	if c.scanCache != nil {
+		c.scanCache.Flush()
+		if c.scanMemo != nil {
+			c.scanMemo.InvalidateAll()
+		}
+	}
 	// Price the rollback as the incident path does: a full-VM memcpy.
 	rollbackCost := time.Duration(c.cfg.Model.MemcpyByteNs * float64(c.dom.MemBytes()))
 	c.virtualNow += rollbackCost

@@ -66,6 +66,17 @@ type Model struct {
 	// execution time (paper: +40-60 %). Per-workload factors scale this.
 	ASanBaseFactor float64
 
+	// Scan-path cache (cached, incremental VMI). A cache miss prices a
+	// MapPageNs foreign map and every cache drop (eviction,
+	// invalidation, flush) an UnmapPageNs, reusing the mapping constants
+	// above; the constants here price the bookkeeping that is unique to
+	// the cache. None of them is consulted unless the scan cache is
+	// enabled, so the cache-off configuration reproduces existing
+	// numbers bit-for-bit (mirroring how Workers=1 reproduces Table 1).
+	ScanCacheHitNs   float64 // LRU lookup + bump for a cached page
+	ScanSweepEntryNs float64 // per cached entry examined by an invalidation sweep
+	ScanMemoHitNs    float64 // returning one memoized structure walk
+
 	// Parallel pause path. Sharded copy/scan workers obey Amdahl's law:
 	// WorkerSerialFrac is the fraction of each parallelized phase that
 	// stays serial (shard dispatch, cache-line and memory-bus
@@ -109,6 +120,10 @@ func Default() Model {
 		CheckpointToDiskNs: 30e9,
 
 		ASanBaseFactor: 1.5,
+
+		ScanCacheHitNs:   25,
+		ScanSweepEntryNs: 15,
+		ScanMemoHitNs:    150,
 
 		WorkerSerialFrac: 0.05,
 		WorkerSpawnNs:    2.0e4,
@@ -294,6 +309,44 @@ func (m Model) CheckpointContended(opt Optimization, c Counts, workers, concurre
 		p.Copy = time.Duration(float64(p.Copy) * queue)
 	}
 	return p
+}
+
+// ScanCacheCounts are the real scan-path cache operation counts one
+// epoch's audit produced: page-cache traffic from hv.CachedMapping and
+// walk-memo traffic from vmi.WalkMemo.
+type ScanCacheCounts struct {
+	CacheHits   int // page reads served by a live mapping
+	CacheMisses int // page reads that performed a MapPage
+	CacheUnmaps int // mappings dropped (evicted, invalidated, or flushed)
+	CacheSwept  int // cached entries examined by invalidation sweeps
+	MemoHits    int // structure walks answered from the memo
+	MemoMisses  int // structure walks that ran against guest memory
+}
+
+// Add accumulates another counter set into s.
+func (s *ScanCacheCounts) Add(o ScanCacheCounts) {
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheUnmaps += o.CacheUnmaps
+	s.CacheSwept += o.CacheSwept
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+}
+
+// ScanCacheOverhead prices one epoch's scan-path cache traffic: the
+// map/unmap hypercalls the cache actually performed plus its lookup,
+// sweep, and memo bookkeeping. The caller adds this to the VMI phase
+// when (and only when) the scan cache is enabled; the base VMI term
+// already shrinks on memo hits because memoized walks report zero nodes
+// walked. The uncached configuration — every touched page mapped and
+// unmapped again each epoch — is priced by the same formula, since
+// there every read is a miss and every mapping is flushed.
+func (m Model) ScanCacheOverhead(s ScanCacheCounts) time.Duration {
+	return ns(m.MapPageNs*float64(s.CacheMisses) +
+		m.UnmapPageNs*float64(s.CacheUnmaps) +
+		m.ScanCacheHitNs*float64(s.CacheHits) +
+		m.ScanSweepEntryNs*float64(s.CacheSwept) +
+		m.ScanMemoHitNs*float64(s.MemoHits))
 }
 
 // PremapStartup prices the one-time global mapping for Premap/Full.

@@ -253,3 +253,46 @@ func TestCheckpointContendedDegrades(t *testing.T) {
 		t.Fatalf("oversubscribed pause %v not above serial floor %v", got, serial)
 	}
 }
+
+func TestScanCacheOverheadPricing(t *testing.T) {
+	m := Default()
+
+	if got := m.ScanCacheOverhead(ScanCacheCounts{}); got != 0 {
+		t.Fatalf("zero counts priced at %v, want 0", got)
+	}
+
+	// The uncached baseline maps and unmaps every touched page each
+	// epoch; the cached steady state pays hits plus a handful of misses
+	// for the dirtied pages. Cached must price strictly cheaper.
+	pages := 200
+	uncached := m.ScanCacheOverhead(ScanCacheCounts{
+		CacheMisses: pages,
+		CacheUnmaps: pages,
+	})
+	cached := m.ScanCacheOverhead(ScanCacheCounts{
+		CacheHits:   pages - 10,
+		CacheMisses: 10,
+		CacheUnmaps: 10,
+		CacheSwept:  pages,
+		MemoHits:    4,
+	})
+	if cached >= uncached {
+		t.Fatalf("cached overhead %v >= uncached %v", cached, uncached)
+	}
+
+	// A miss prices exactly one MapPage; a drop exactly one UnmapPage.
+	one := m.ScanCacheOverhead(ScanCacheCounts{CacheMisses: 1, CacheUnmaps: 1})
+	if want := ns(m.MapPageNs + m.UnmapPageNs); one != want {
+		t.Fatalf("miss+unmap priced at %v, want %v", one, want)
+	}
+}
+
+func TestScanCacheCountsAdd(t *testing.T) {
+	a := ScanCacheCounts{CacheHits: 1, CacheMisses: 2, CacheUnmaps: 3, CacheSwept: 4, MemoHits: 5, MemoMisses: 6}
+	b := a
+	b.Add(a)
+	want := ScanCacheCounts{CacheHits: 2, CacheMisses: 4, CacheUnmaps: 6, CacheSwept: 8, MemoHits: 10, MemoMisses: 12}
+	if b != want {
+		t.Fatalf("Add = %+v, want %+v", b, want)
+	}
+}

@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// harvest snapshots and clears the guest's dirty log.
+func harvest(t *testing.T, g *guestos.Guest) *mem.Bitmap {
+	t.Helper()
+	dom := g.Domain()
+	dirty := mem.NewBitmap(dom.Pages())
+	if err := dom.HarvestDirty(dirty); err != nil {
+		t.Fatalf("HarvestDirty: %v", err)
+	}
+	return dirty
+}
+
+// TestIncrementalDeepScanMatchesFull: across an initial full pass and a
+// dirty-driven re-scan, the incremental sweep must report exactly what
+// the stateless whole-memory sweep reports — while reading a fraction
+// of the memory on the re-scan.
+func TestIncrementalDeepScanMatchesFull(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("ghostkit", 0, 4)
+	if err := g.CloakProcess(pid); err != nil {
+		t.Fatalf("CloakProcess: %v", err)
+	}
+
+	inc := NewIncrementalDeepScan()
+	wantFull, err := DeepScanModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("full sweep: %v", err)
+	}
+	got, err := inc.Scan(sc)
+	if err != nil {
+		t.Fatalf("incremental first pass: %v", err)
+	}
+	assertSameFindings(t, got, wantFull)
+	if len(got) != 1 || got[0].PID != pid {
+		t.Fatalf("cloaked process not recovered: %+v", got)
+	}
+
+	// Second incident: a new cloaked process, with dirty logging telling
+	// the incremental sweep exactly which pages changed.
+	g.Domain().EnableDirtyLogging()
+	pid2, _ := g.StartProcess("ghostkit2", 0, 4)
+	if err := g.CloakProcess(pid2); err != nil {
+		t.Fatalf("CloakProcess: %v", err)
+	}
+	sc.Dirty = harvest(t, g)
+
+	wantFull, err = DeepScanModule{}.Scan(sc)
+	if err != nil {
+		t.Fatalf("full sweep: %v", err)
+	}
+	before := sc.VMI.Stats().BytesRead
+	got, err = inc.Scan(sc)
+	if err != nil {
+		t.Fatalf("incremental re-scan: %v", err)
+	}
+	incBytes := sc.VMI.Stats().BytesRead - before
+	assertSameFindings(t, got, wantFull)
+	if len(got) != 2 {
+		t.Fatalf("re-scan findings = %+v, want both cloaked processes", got)
+	}
+	fullBytes := int(sc.VMI.MemBytes())
+	if incBytes*4 > fullBytes {
+		t.Fatalf("incremental re-scan read %d bytes, want well under the %d-byte full sweep", incBytes, fullBytes)
+	}
+}
+
+// TestIncrementalDeepScanUnlinkOnlyAttack: cloaking rewrites list
+// pointers on OTHER records' pages — the victim record's own page may
+// stay clean. The memoized candidate must still surface once the fresh
+// known-set walk no longer reaches it.
+func TestIncrementalDeepScanUnlinkOnlyAttack(t *testing.T) {
+	g, sc := newScanEnv(t, guestos.LinuxProfile())
+	pid, _ := g.StartProcess("lurker", 0, 4)
+
+	inc := NewIncrementalDeepScan()
+	fs, err := inc.Scan(sc) // full pass: record present but linked, so clean
+	if err != nil {
+		t.Fatalf("first pass: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("false positives on clean guest: %+v", fs)
+	}
+
+	g.Domain().EnableDirtyLogging()
+	if err := g.CloakProcess(pid); err != nil {
+		t.Fatalf("CloakProcess: %v", err)
+	}
+	sc.Dirty = harvest(t, g)
+	fs, err = inc.Scan(sc)
+	if err != nil {
+		t.Fatalf("post-cloak scan: %v", err)
+	}
+	if len(fs) != 1 || fs[0].PID != pid || fs[0].Name != "lurker" {
+		t.Fatalf("unlink-only attack missed: %+v", fs)
+	}
+}
+
+// TestIncrementalDeepScanPerGuestMemos: one module instance scanning
+// two guests (the fleet configuration) must keep their candidate memos
+// separate.
+func TestIncrementalDeepScanPerGuestMemos(t *testing.T) {
+	gA, scA := newScanEnv(t, guestos.LinuxProfile())
+	_, scB := newScanEnv(t, guestos.LinuxProfile())
+
+	pid, _ := gA.StartProcess("ghostkit", 0, 4)
+	if err := gA.CloakProcess(pid); err != nil {
+		t.Fatalf("CloakProcess: %v", err)
+	}
+	inc := NewIncrementalDeepScan()
+	fsA, err := inc.Scan(scA)
+	if err != nil {
+		t.Fatalf("scan A: %v", err)
+	}
+	fsB, err := inc.Scan(scB)
+	if err != nil {
+		t.Fatalf("scan B: %v", err)
+	}
+	if len(fsA) != 1 {
+		t.Fatalf("guest A findings = %+v", fsA)
+	}
+	if len(fsB) != 0 {
+		t.Fatalf("guest A's candidates leaked into guest B: %+v", fsB)
+	}
+}
+
+func assertSameFindings(t *testing.T, got, want []Finding) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("findings = %d, want %d\ngot:  %+v\nwant: %+v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d differs:\ngot:  %+v\nwant: %+v", i, got[i], want[i])
+		}
+	}
+}

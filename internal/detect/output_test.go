@@ -76,7 +76,7 @@ func TestOutputScanEmptyContext(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := AvailableModules()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Fatalf("available modules = %v", names)
 	}
 	mods, err := ModulesByName("canary-overflow, deep-psscan")

@@ -16,6 +16,7 @@ var registry = map[string]func() Module{
 	"hidden-process":    func() Module { return HiddenProcessModule{} },
 	"output-scan":       func() Module { return NewOutputScanModule(nil, nil) },
 	"deep-psscan":       func() Module { return DeepScanModule{} },
+	"deep-psscan-inc":   func() Module { return NewIncrementalDeepScan() },
 }
 
 // AvailableModules lists the registered module names.

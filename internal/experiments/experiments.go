@@ -59,6 +59,7 @@ func All() []struct {
 		{"ablation", AblationSummary},
 		{"pause", PauseParallel},
 		{"fleet", FleetScaling},
+		{"scan", ScanCacheComparison},
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	for _, e := range all {
 		if _, err := ByID(e.ID); err != nil {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/detect"
 	"repro/internal/guestos"
 	"repro/internal/hv"
@@ -46,6 +47,11 @@ type Config struct {
 	Seed int64
 	// Names optionally names the VMs; unnamed VMs default to vmN.
 	Names []string
+	// ScanCacheBudgetPages is the host-wide memory budget for scan-path
+	// page-mapping caches, in pages, divided evenly across the VMs (each
+	// gets at least one page). 0 leaves Core.ScanCacheCapacity as
+	// configured. Only meaningful when Core.ScanCache is enabled.
+	ScanCacheBudgetPages int
 	// Core is the per-VM controller configuration, copied to every VM.
 	// Its PauseGate is overwritten with the fleet's shared gate.
 	Core core.Config
@@ -113,6 +119,12 @@ type Stats struct {
 	// Hypercalls is the VM's per-domain attributed hypercall footprint,
 	// summed over its primary and checkpoint backup domains.
 	Hypercalls hv.Hypercalls
+	// ScanCache is the VM's cumulative scan-path cache activity;
+	// ScanCachePages / ScanCacheCapacity its live mapping footprint and
+	// budget share. All zero when the scan cache is off.
+	ScanCache         cost.ScanCacheCounts
+	ScanCachePages    int
+	ScanCacheCapacity int
 	// Err records the error that stopped the VM's loop, if any.
 	Err string
 }
@@ -170,6 +182,13 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		ccfg := cfg.Core
 		ccfg.PauseGate = f.gate
+		if cfg.ScanCacheBudgetPages > 0 && ccfg.ScanCache != core.ScanCacheOff {
+			per := cfg.ScanCacheBudgetPages / cfg.VMs
+			if per < 1 {
+				per = 1
+			}
+			ccfg.ScanCacheCapacity = per
+		}
 		ctl, err := core.New(f.hv, g, ccfg)
 		if err != nil {
 			_ = f.hv.DestroyDomain(dom.ID())
@@ -267,6 +286,8 @@ func (vm *VM) Stats() Stats {
 	for _, d := range vm.Controller.Checkpointer().Domains() {
 		s.Hypercalls.Add(d.Calls())
 	}
+	s.ScanCache = vm.Controller.ScanCacheTotals()
+	s.ScanCachePages, s.ScanCacheCapacity = vm.Controller.ScanCacheLive()
 	return s
 }
 
@@ -291,6 +312,11 @@ type Report struct {
 	HaltedVMs      int
 	// Hypercalls is the host-wide aggregate across all domains.
 	Hypercalls hv.Hypercalls
+	// ScanCache aggregates every VM's scan-path cache counters;
+	// ScanCachePages the live mappings currently held fleet-wide. Both
+	// zero when the scan cache is off.
+	ScanCache      cost.ScanCacheCounts
+	ScanCachePages int
 }
 
 // Report snapshots the fleet's current accounting.
@@ -314,6 +340,8 @@ func (f *Fleet) Report() *Report {
 			r.HaltedVMs++
 		}
 		r.TotalIncidents += s.Incidents
+		r.ScanCache.Add(s.ScanCache)
+		r.ScanCachePages += s.ScanCachePages
 	}
 	if f.cfg.Core.Obs.Enabled() {
 		reg := f.cfg.Core.Obs.Registry()
@@ -354,6 +382,18 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "aggregate: pause=%v worst=%v epochs=%d findings=%d incidents=%d halted=%d\n",
 		r.AggregatePause.Round(time.Microsecond), r.WorstPause.Round(time.Microsecond),
 		r.TotalEpochs, r.TotalFindings, r.TotalIncidents, r.HaltedVMs)
+	// The scan-cache line appears only when the cache did work, so the
+	// default (cache-off) report is unchanged.
+	if r.ScanCache != (cost.ScanCacheCounts{}) {
+		sc := r.ScanCache
+		rate := 0.0
+		if reads := sc.CacheHits + sc.CacheMisses; reads > 0 {
+			rate = 100 * float64(sc.CacheHits) / float64(reads)
+		}
+		fmt.Fprintf(&b, "scan cache: hits=%d misses=%d (%.1f%% hit) unmaps=%d swept=%d memo=%d/%d live=%d pages\n",
+			sc.CacheHits, sc.CacheMisses, rate, sc.CacheUnmaps, sc.CacheSwept,
+			sc.MemoHits, sc.MemoHits+sc.MemoMisses, r.ScanCachePages)
+	}
 	return b.String()
 }
 

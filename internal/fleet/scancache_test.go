@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// TestFleetScanCacheBudgetSplit: a host-wide page budget is divided
+// evenly across the VMs, every VM's controller reports cache activity,
+// and the report rolls the counters up and renders them.
+func TestFleetScanCacheBudgetSplit(t *testing.T) {
+	const vms, epochs, budget = 3, 3, 300
+	f := newTestFleet(t, Config{
+		VMs:                  vms,
+		Stagger:              true,
+		Seed:                 1,
+		ScanCacheBudgetPages: budget,
+		Core: core.Config{
+			EpochInterval: 10 * time.Millisecond,
+			ScanCache:     core.ScanCacheOn,
+		},
+	})
+	rep := f.Run(epochs, testWork(t, vms, 10*time.Millisecond))
+	var sum cost.ScanCacheCounts
+	for _, s := range rep.VMs {
+		if s.ScanCacheCapacity != budget/vms {
+			t.Errorf("%s: cache capacity = %d, want budget share %d", s.Name, s.ScanCacheCapacity, budget/vms)
+		}
+		if s.ScanCache.CacheHits == 0 || s.ScanCache.CacheMisses == 0 {
+			t.Errorf("%s: no cache activity: %+v", s.Name, s.ScanCache)
+		}
+		if s.ScanCachePages == 0 || s.ScanCachePages > s.ScanCacheCapacity {
+			t.Errorf("%s: live pages = %d, capacity %d", s.Name, s.ScanCachePages, s.ScanCacheCapacity)
+		}
+		sum.Add(s.ScanCache)
+	}
+	if rep.ScanCache != sum {
+		t.Errorf("report roll-up = %+v, want sum of per-VM stats %+v", rep.ScanCache, sum)
+	}
+	if !strings.Contains(rep.Render(), "scan cache:") {
+		t.Errorf("render missing scan-cache line:\n%s", rep.Render())
+	}
+}
+
+// TestFleetScanCacheOffReportUnchanged: with the cache off the report
+// carries no cache counters and renders no scan-cache line, so default
+// fleet output is byte-compatible with previous releases.
+func TestFleetScanCacheOffReportUnchanged(t *testing.T) {
+	const vms = 2
+	f := newTestFleet(t, Config{
+		VMs:     vms,
+		Stagger: true,
+		Seed:    1,
+		// A budget with the cache off must be ignored, not applied.
+		ScanCacheBudgetPages: 100,
+	})
+	rep := f.Run(2, testWork(t, vms, 10*time.Millisecond))
+	if rep.ScanCache != (cost.ScanCacheCounts{}) || rep.ScanCachePages != 0 {
+		t.Errorf("cache-off report carries counters: %+v live=%d", rep.ScanCache, rep.ScanCachePages)
+	}
+	if strings.Contains(rep.Render(), "scan cache:") {
+		t.Errorf("cache-off render grew a scan-cache line:\n%s", rep.Render())
+	}
+}

@@ -395,6 +395,11 @@ func (d *Domain) access(paddr uint64, buf []byte, write bool) error {
 	if end > d.MemBytes() || end < paddr {
 		return fmt.Errorf("access [%#x,%#x): %w", paddr, end, ErrBadAddress)
 	}
+	// Hoist the watcher check out of the per-page loop: scans and guest
+	// writes dominate the hot path, and almost no domain has memory-event
+	// watches armed, so the common case must not pay per-page event
+	// bookkeeping.
+	watched := len(d.watches) != 0
 	off := 0
 	for off < len(buf) {
 		pfn := mem.PFN((paddr + uint64(off)) >> mem.PageShift)
@@ -413,10 +418,14 @@ func (d *Domain) access(paddr uint64, buf []byte, write bool) error {
 				d.dirty.Set(int(pfn))
 			}
 			d.bytesWritten += uint64(n)
-			d.fireEvent(pfn, uint64(inPage), n, AccessWrite, buf[off:off+n])
+			if watched {
+				d.fireEvent(pfn, uint64(inPage), n, AccessWrite, buf[off:off+n])
+			}
 		} else {
 			copy(buf[off:off+n], frame[inPage:inPage+n])
-			d.fireEvent(pfn, uint64(inPage), n, AccessRead, nil)
+			if watched {
+				d.fireEvent(pfn, uint64(inPage), n, AccessRead, nil)
+			}
 		}
 		off += n
 	}

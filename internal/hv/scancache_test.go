@@ -1,0 +1,293 @@
+package hv
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
+
+func newScanCacheFixture(t *testing.T, pages, capacity int) (*Hypervisor, *Domain, *CachedMapping) {
+	t.Helper()
+	h := New(pages + 8)
+	d, err := h.CreateDomain("guest", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, d, NewCachedMapping(d, capacity)
+}
+
+func TestCachedMappingHitMissCounting(t *testing.T) {
+	_, d, cm := newScanCacheFixture(t, 16, 8)
+	d.ResetCalls()
+
+	if _, err := cm.Page(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Page(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Page(7); err != nil {
+		t.Fatal(err)
+	}
+	s := cm.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 misses 1 hit", s)
+	}
+	c := d.Calls()
+	if c.MapPage != 2 {
+		t.Fatalf("MapPage = %d, want 2 (one per miss)", c.MapPage)
+	}
+	if c.UnmapPage != 0 {
+		t.Fatalf("UnmapPage = %d, want 0 (nothing evicted)", c.UnmapPage)
+	}
+	if c.Translate != 0 {
+		t.Fatalf("Translate = %d, want 0", c.Translate)
+	}
+}
+
+func TestCachedMappingReadPhysMatchesDomain(t *testing.T) {
+	_, d, cm := newScanCacheFixture(t, 8, 4)
+	data := make([]byte, 3*mem.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := d.WritePhys(mem.PageSize/2, data); err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]byte, len(data))
+	if err := d.ReadPhys(mem.PageSize/2, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := cm.ReadPhys(mem.PageSize/2, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: cached read %d != domain read %d", i, got[i], want[i])
+		}
+	}
+	if cm.MemBytes() != d.MemBytes() {
+		t.Fatalf("MemBytes = %d, want %d", cm.MemBytes(), d.MemBytes())
+	}
+}
+
+func TestCachedMappingSeesLaterWrites(t *testing.T) {
+	// Frame slices alias live machine memory, so a cached mapping must
+	// observe guest writes made after the page was cached.
+	_, d, cm := newScanCacheFixture(t, 4, 4)
+	var b [1]byte
+	if err := cm.ReadPhys(100, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Fatalf("initial byte = %d, want 0", b[0])
+	}
+	if err := d.WritePhys(100, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.ReadPhys(100, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 42 {
+		t.Fatalf("cached read after write = %d, want 42", b[0])
+	}
+	if s := cm.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss then 1 hit", s)
+	}
+}
+
+func TestCachedMappingLRUEviction(t *testing.T) {
+	_, d, cm := newScanCacheFixture(t, 16, 2)
+	d.ResetCalls()
+
+	for _, pfn := range []mem.PFN{0, 1} {
+		if _, err := cm.Page(pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, err := cm.Page(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Page(2); err != nil { // evicts 1
+		t.Fatal(err)
+	}
+	if cm.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (capacity bound)", cm.Len())
+	}
+	s := cm.Stats()
+	if s.Evictions != 1 || s.Unmaps != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction / 1 unmap", s)
+	}
+	// 0 must still be cached (hit); 1 must have been evicted (miss,
+	// evicting another victim).
+	before := cm.Stats()
+	if _, err := cm.Page(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := cm.Stats().Sub(before); d.Hits != 1 {
+		t.Fatalf("page 0 after eviction: delta %+v, want a hit", d)
+	}
+	before = cm.Stats()
+	if _, err := cm.Page(1); err != nil {
+		t.Fatal(err)
+	}
+	if d := cm.Stats().Sub(before); d.Misses != 1 {
+		t.Fatalf("page 1 after eviction: delta %+v, want a miss", d)
+	}
+	c := d.Calls()
+	if c.MapPage != s.Misses+1 {
+		t.Fatalf("MapPage = %d, want %d (one per miss)", c.MapPage, s.Misses+1)
+	}
+}
+
+func TestCachedMappingInvalidateDropsOnlyDirty(t *testing.T) {
+	_, _, cm := newScanCacheFixture(t, 16, 16)
+	for pfn := mem.PFN(0); pfn < 4; pfn++ {
+		if _, err := cm.Page(pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := mem.NewBitmap(16)
+	dirty.Set(1)
+	dirty.Set(3)
+	dirty.Set(9) // dirty but not cached: must not count
+
+	if n := cm.Invalidate(dirty); n != 2 {
+		t.Fatalf("Invalidate dropped %d, want 2", n)
+	}
+	if cm.Len() != 2 {
+		t.Fatalf("Len = %d after invalidate, want 2", cm.Len())
+	}
+	s := cm.Stats()
+	if s.Invalidations != 2 || s.Swept != 4 || s.Unmaps != 2 {
+		t.Fatalf("stats = %+v, want 2 invalidations, 4 swept, 2 unmaps", s)
+	}
+	// Clean pages stay hits; dirty pages re-miss.
+	before := cm.Stats()
+	for _, pfn := range []mem.PFN{0, 2} {
+		if _, err := cm.Page(pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delta := cm.Stats().Sub(before); delta.Hits != 2 || delta.Misses != 0 {
+		t.Fatalf("clean pages after invalidate: delta %+v, want 2 hits", delta)
+	}
+	before = cm.Stats()
+	for _, pfn := range []mem.PFN{1, 3} {
+		if _, err := cm.Page(pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delta := cm.Stats().Sub(before); delta.Misses != 2 || delta.Hits != 0 {
+		t.Fatalf("dirty pages after invalidate: delta %+v, want 2 misses", delta)
+	}
+}
+
+func TestCachedMappingFlush(t *testing.T) {
+	_, d, cm := newScanCacheFixture(t, 8, 8)
+	for pfn := mem.PFN(0); pfn < 5; pfn++ {
+		if _, err := cm.Page(pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetCalls()
+	if n := cm.Flush(); n != 5 {
+		t.Fatalf("Flush dropped %d, want 5", n)
+	}
+	if cm.Len() != 0 {
+		t.Fatalf("Len = %d after flush, want 0", cm.Len())
+	}
+	if c := d.Calls(); c.UnmapPage != 5 {
+		t.Fatalf("UnmapPage = %d, want 5", c.UnmapPage)
+	}
+	if n := cm.Flush(); n != 0 {
+		t.Fatalf("second Flush dropped %d, want 0", n)
+	}
+}
+
+func TestCachedMappingBounds(t *testing.T) {
+	_, _, cm := newScanCacheFixture(t, 4, 4)
+	if _, err := cm.Page(4); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("Page(4) err = %v, want ErrBadAddress", err)
+	}
+	buf := make([]byte, 16)
+	if err := cm.ReadPhys(4*mem.PageSize-8, buf); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("ReadPhys past end err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestCachedMappingMapFault(t *testing.T) {
+	h, _, cm := newScanCacheFixture(t, 8, 8)
+	inj := &fault.Injector{}
+	inj.Fail(FaultMapPage, 2, 1, false)
+	h.InjectFaults(inj)
+
+	if _, err := cm.Page(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Page(1); err == nil {
+		t.Fatal("second map should have hit the injected fault")
+	}
+	// A hit must not consult the fault site.
+	if _, err := cm.Page(0); err != nil {
+		t.Fatalf("cached hit failed under map fault: %v", err)
+	}
+	s := cm.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want faulted miss uncounted", s)
+	}
+}
+
+func TestCachedMappingCapacityDefaults(t *testing.T) {
+	_, d, _ := newScanCacheFixture(t, 8, 0)
+	for _, capacity := range []int{0, -3, 100} {
+		cm := NewCachedMapping(d, capacity)
+		if cm.Cap() != d.Pages() {
+			t.Fatalf("capacity %d: Cap = %d, want %d", capacity, cm.Cap(), d.Pages())
+		}
+	}
+	cm := NewCachedMapping(d, 3)
+	if cm.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", cm.Cap())
+	}
+}
+
+func TestCachedMappingConcurrent(t *testing.T) {
+	_, d, cm := newScanCacheFixture(t, 64, 16)
+	data := make([]byte, 64*mem.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := d.WritePhys(0, data); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 100)
+			for i := 0; i < 200; i++ {
+				addr := uint64((g*37 + i*11) % 60 * mem.PageSize)
+				if err := cm.ReadPhys(addr, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := cm.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	if cm.Len() > cm.Cap() {
+		t.Fatalf("Len %d exceeds Cap %d", cm.Len(), cm.Cap())
+	}
+}

@@ -59,6 +59,18 @@ func (h Hypercalls) Total() int {
 // IsZero reports whether every counter is zero.
 func (h Hypercalls) IsZero() bool { return h == Hypercalls{} }
 
+// ScanCache is a per-event scan-path cache delta: page-mapping cache
+// and walk-memo activity for one epoch's audit. Plain ints keep this
+// package dependency-free, mirroring Hypercalls.
+type ScanCache struct {
+	Hits       int `json:"hits,omitempty"`
+	Misses     int `json:"misses,omitempty"`
+	Unmaps     int `json:"unmaps,omitempty"`
+	Swept      int `json:"swept,omitempty"`
+	MemoHits   int `json:"memo_hits,omitempty"`
+	MemoMisses int `json:"memo_misses,omitempty"`
+}
+
 // Event is one trace record: a single phase of a single VM's epoch.
 // Virtual durations (run, rollback) are deterministic cost-model time;
 // DurNs on commit is the measured wall-clock commit time.
@@ -99,6 +111,9 @@ type Event struct {
 	// Hypercalls is the epoch's per-VM hypercall delta, attached to the
 	// commit event.
 	Hypercalls *Hypercalls `json:"hypercalls,omitempty"`
+	// ScanCache is the epoch's scan-path cache delta, attached to the
+	// scan event when the scan cache is enabled.
+	ScanCache *ScanCache `json:"scan_cache,omitempty"`
 }
 
 // Sink receives trace events. Implementations must be safe for

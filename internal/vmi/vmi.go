@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/guestos"
+	"repro/internal/mem"
 )
 
 var (
@@ -54,6 +55,20 @@ type Context struct {
 	goodSyscalls []uint64
 
 	stats Stats
+
+	// memo, when set, memoizes structure walks across epochs; shared
+	// with forks. trace is the touched-page set of the memoized walk
+	// currently running on this context (nil otherwise).
+	memo  *WalkMemo
+	trace map[mem.PFN]struct{}
+
+	// scratch is the per-node record buffer reused across list walks so
+	// a walk does not allocate per node. Never retained past one node's
+	// parse. tmp backs the word-sized pointer reads for the same reason:
+	// a stack array passed through the PhysReader interface escapes,
+	// costing one allocation per list node.
+	scratch []byte
+	tmp     [8]byte
 }
 
 // NewContext runs the initialization phase: it parses the guest's
@@ -144,6 +159,7 @@ func (c *Context) Fork() *Context {
 		prof:         c.prof,
 		symbols:      c.symbols,
 		goodSyscalls: c.goodSyscalls,
+		memo:         c.memo,
 	}
 }
 
@@ -158,6 +174,11 @@ func (c *Context) AddStats(s Stats) {
 // Profile returns the kernel profile in use.
 func (c *Context) Profile() *guestos.Profile { return c.prof }
 
+// Reader returns the physical-memory source this context introspects.
+// Forks share it, so it identifies the guest image across contexts —
+// stateful scan modules key per-guest memos on it.
+func (c *Context) Reader() PhysReader { return c.r }
+
 // MemBytes reports the guest-physical memory size being introspected.
 func (c *Context) MemBytes() uint64 { return c.r.MemBytes() }
 
@@ -168,29 +189,41 @@ func (c *Context) TranslateKV(va uint64) uint64 { return va - c.prof.KernelVirtB
 // ReadVA reads guest memory at a kernel virtual address.
 func (c *Context) ReadVA(va uint64, buf []byte) error {
 	c.stats.BytesRead += len(buf)
-	return c.r.ReadPhys(c.TranslateKV(va), buf)
+	pa := c.TranslateKV(va)
+	c.tracePages(pa, len(buf))
+	return c.r.ReadPhys(pa, buf)
 }
 
 // ReadPA reads guest-physical memory.
 func (c *Context) ReadPA(pa uint64, buf []byte) error {
 	c.stats.BytesRead += len(buf)
+	c.tracePages(pa, len(buf))
 	return c.r.ReadPhys(pa, buf)
 }
 
+// scratchBuf returns the context's reusable record buffer, grown to n
+// bytes. The contents are only valid until the next scratchBuf call, so
+// each list-walk iteration must finish parsing (copying out any strings)
+// before reading the next node.
+func (c *Context) scratchBuf(n int) []byte {
+	if cap(c.scratch) < n {
+		c.scratch = make([]byte, n)
+	}
+	return c.scratch[:n]
+}
+
 func (c *Context) readU32VA(va uint64) (uint32, error) {
-	var b [4]byte
-	if err := c.ReadVA(va, b[:]); err != nil {
+	if err := c.ReadVA(va, c.tmp[:4]); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint32(b[:]), nil
+	return binary.LittleEndian.Uint32(c.tmp[:4]), nil
 }
 
 func (c *Context) readU64VA(va uint64) (uint64, error) {
-	var b [8]byte
-	if err := c.ReadVA(va, b[:]); err != nil {
+	if err := c.ReadVA(va, c.tmp[:8]); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(b[:]), nil
+	return binary.LittleEndian.Uint64(c.tmp[:8]), nil
 }
 
 // CStr extracts a NUL-terminated string from a fixed-size field.

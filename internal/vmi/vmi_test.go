@@ -8,7 +8,7 @@ import (
 	"repro/internal/hv"
 )
 
-func bootGuest(t *testing.T, prof *guestos.Profile) (*guestos.Guest, *Context) {
+func bootGuest(t testing.TB, prof *guestos.Profile) (*guestos.Guest, *Context) {
 	t.Helper()
 	h := hv.New(520)
 	dom, err := h.CreateDomain("guest", 512)

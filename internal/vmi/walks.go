@@ -44,7 +44,7 @@ type FileInfo struct {
 // readTask parses one task record at a kernel VA.
 func (c *Context) readTask(va uint64) (ProcessInfo, error) {
 	p := c.prof
-	rec := make([]byte, p.TaskSize)
+	rec := c.scratchBuf(p.TaskSize)
 	if err := c.ReadVA(va, rec); err != nil {
 		return ProcessInfo{}, err
 	}
@@ -63,8 +63,13 @@ func (c *Context) readTask(va uint64) (ProcessInfo, error) {
 
 // ProcessList walks the kernel's circular task list from init_task —
 // LibVMI's process-list example and the paper's primary "unaided" scan.
-// The idle task itself is excluded.
+// The idle task itself is excluded. With a walk memo attached, the walk
+// is re-run only when a page it touched was dirtied since the last run.
 func (c *Context) ProcessList() ([]ProcessInfo, error) {
+	return memoized(c, "process-list", c.processList)
+}
+
+func (c *Context) processList() ([]ProcessInfo, error) {
 	head, err := c.Symbol("init_task")
 	if err != nil {
 		return nil, err
@@ -94,6 +99,10 @@ func (c *Context) ProcessList() ([]ProcessInfo, error) {
 // Rootkits that unlink a task from the task list usually remain here;
 // comparing the two views is linux_psxview's core idea.
 func (c *Context) PIDHashList() ([]ProcessInfo, error) {
+	return memoized(c, "pid-hash", c.pidHashList)
+}
+
+func (c *Context) pidHashList() ([]ProcessInfo, error) {
 	base, err := c.Symbol("pid_hash")
 	if err != nil {
 		return nil, err
@@ -122,6 +131,10 @@ func (c *Context) PIDHashList() ([]ProcessInfo, error) {
 
 // ModuleList walks the loaded-module list — LibVMI's module-list example.
 func (c *Context) ModuleList() ([]ModuleInfo, error) {
+	return memoized(c, "module-list", c.moduleList)
+}
+
+func (c *Context) moduleList() ([]ModuleInfo, error) {
 	headPtr, err := c.Symbol("modules")
 	if err != nil {
 		return nil, err
@@ -134,7 +147,7 @@ func (c *Context) ModuleList() ([]ModuleInfo, error) {
 	var out []ModuleInfo
 	for i := 0; cur != 0 && i < maxListNodes; i++ {
 		c.stats.NodesWalked++
-		rec := make([]byte, p.ModuleSize)
+		rec := c.scratchBuf(p.ModuleSize)
 		if err := c.ReadVA(cur, rec); err != nil {
 			return nil, fmt.Errorf("vmi module-list: %w", err)
 		}
@@ -153,11 +166,15 @@ func (c *Context) ModuleList() ([]ModuleInfo, error) {
 
 // SyscallTable reads the full syscall handler table.
 func (c *Context) SyscallTable() ([]uint64, error) {
+	return memoized(c, "syscall-table", c.syscallTable)
+}
+
+func (c *Context) syscallTable() ([]uint64, error) {
 	base, err := c.Symbol("sys_call_table")
 	if err != nil {
 		return nil, err
 	}
-	raw := make([]byte, c.prof.NumSyscalls*8)
+	raw := c.scratchBuf(c.prof.NumSyscalls * 8)
 	if err := c.ReadVA(base, raw); err != nil {
 		return nil, fmt.Errorf("vmi syscall-table: %w", err)
 	}
@@ -208,7 +225,7 @@ func (c *Context) Sockets() ([]SocketInfo, error) {
 	var out []SocketInfo
 	for i := 0; cur != 0 && i < maxListNodes; i++ {
 		c.stats.NodesWalked++
-		rec := make([]byte, p.SockSize)
+		rec := c.scratchBuf(p.SockSize)
 		if err := c.ReadVA(cur, rec); err != nil {
 			return nil, fmt.Errorf("vmi sockets: %w", err)
 		}
@@ -245,7 +262,7 @@ func (c *Context) FileHandles() ([]FileInfo, error) {
 	var out []FileInfo
 	for i := 0; cur != 0 && i < maxListNodes; i++ {
 		c.stats.NodesWalked++
-		rec := make([]byte, p.FileSize)
+		rec := c.scratchBuf(p.FileSize)
 		if err := c.ReadVA(cur, rec); err != nil {
 			return nil, fmt.Errorf("vmi files: %w", err)
 		}
@@ -274,6 +291,10 @@ type CanaryEntry struct {
 // CanaryTable parses the guest agent's canary lookup table via the
 // crimes_canary_table symbol.
 func (c *Context) CanaryTable() ([]CanaryEntry, error) {
+	return memoized(c, "canary-table", c.canaryTable)
+}
+
+func (c *Context) canaryTable() ([]CanaryEntry, error) {
 	base, err := c.Symbol("crimes_canary_table")
 	if err != nil {
 		return nil, err
@@ -287,7 +308,7 @@ func (c *Context) CanaryTable() ([]CanaryEntry, error) {
 		return nil, fmt.Errorf("vmi canary table: implausible capacity %d", capacity)
 	}
 	p := c.prof
-	raw := make([]byte, capacity*p.CanaryEntrySize)
+	raw := c.scratchBuf(capacity * p.CanaryEntrySize)
 	if err := c.ReadVA(base+16, raw); err != nil {
 		return nil, fmt.Errorf("vmi canary table: %w", err)
 	}
@@ -326,7 +347,7 @@ func (c *Context) MemMap(taskVA uint64) (MMInfo, error) {
 	if mmVA == 0 {
 		return MMInfo{}, fmt.Errorf("vmi memmap: task %#x has no mm", taskVA)
 	}
-	rec := make([]byte, p.MMSize)
+	rec := c.scratchBuf(p.MMSize)
 	if err := c.ReadVA(mmVA, rec); err != nil {
 		return MMInfo{}, fmt.Errorf("vmi memmap: %w", err)
 	}
@@ -365,7 +386,7 @@ func (c *Context) Registry() ([]RegKeyInfo, error) {
 		c.stats.NodesWalked++
 		// Record layout mirrors guestos: path at +8 (64 bytes), value
 		// at +72 (64 bytes), next at +136.
-		rec := make([]byte, 144)
+		rec := c.scratchBuf(144)
 		if err := c.ReadVA(cur, rec); err != nil {
 			return nil, fmt.Errorf("vmi registry: %w", err)
 		}
