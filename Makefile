@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test verify verify-quick bench pause-json bench-fleet \
-	bench-scan fmt-check ci bench-drift
+	bench-scan bench-cow fmt-check ci bench-drift
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,16 @@ verify: build
 # sharded checkpoint copy, the concurrent detector scan, the controller
 # that drives both, the fleet scheduler running many controllers on one
 # shared hypervisor, and the observability layer they all emit into.
-# The final step drives a traced fleet run end-to-end under the race
-# detector: many VMs emitting into one shared tracer and registry.
+# The final steps drive traced fleet runs end-to-end under the race
+# detector: many VMs emitting into one shared tracer and registry, once
+# eagerly and once with the CoW commit's background copier and write
+# faults live.
 verify-quick:
 	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core ./internal/hv ./internal/fleet ./internal/obs
 	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 \
 		-trace /tmp/crimes-verify-trace.jsonl -metrics /tmp/crimes-verify-metrics.txt >/dev/null
+	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 -cow \
+		-trace /tmp/crimes-verify-trace-cow.jsonl -metrics /tmp/crimes-verify-metrics-cow.txt >/dev/null
 
 # gofmt gate: fail listing any file that is not gofmt-clean.
 fmt-check:
@@ -35,8 +39,8 @@ fmt-check:
 # deterministic cost model, so regenerating them must be a no-op. Any
 # diff means a change altered the priced pause path (or the artifacts
 # were not regenerated) and must be committed deliberately.
-bench-drift: pause-json bench-fleet bench-scan
-	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json
+bench-drift: pause-json bench-fleet bench-scan bench-cow
+	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json BENCH_cow.json
 
 # Everything the CI workflow runs, in the same order, for local use.
 ci: fmt-check build
@@ -63,3 +67,9 @@ bench-fleet:
 # cache) with Workers=1 and a fixed seed, so it too is byte-stable.
 bench-scan:
 	$(GO) run ./cmd/crimes-bench -scan-json BENCH_scan.json
+
+# Regenerate the machine-readable CoW commit benchmark: the real
+# controller sweeps working-set sizes under the eager and copy-on-write
+# commits with Workers=1 and a fixed seed, so it too is byte-stable.
+bench-cow:
+	$(GO) run ./cmd/crimes-bench -cow-json BENCH_cow.json

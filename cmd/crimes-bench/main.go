@@ -31,6 +31,7 @@ func run() error {
 		pauseJSON = flag.String("pause-json", "", "write the parallel pause-path benchmark as JSON to this path and exit")
 		fleetJSON = flag.String("fleet-json", "", "write the fleet-scheduling benchmark as JSON to this path and exit")
 		scanJSON  = flag.String("scan-json", "", "write the scan-path cache benchmark as JSON to this path and exit")
+		cowJSON   = flag.String("cow-json", "", "write the CoW commit benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -71,6 +72,17 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *scanJSON, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *scanJSON)
+		return nil
+	}
+	if *cowJSON != "" {
+		out, err := experiments.CoWSweepJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*cowJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *cowJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *cowJSON)
 		return nil
 	}
 	if *exp != "" {

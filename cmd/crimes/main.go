@@ -52,6 +52,7 @@ func run() (retErr error) {
 		faultSpec  = flag.String("fault", "", "inject a fault: site:N[:transient] fails the Nth call at site (e.g. hv.suspend:2, remus.send:1:transient)")
 		workers    = flag.Int("workers", 0, "pause-path worker pool size (0 = GOMAXPROCS, 1 = exact serial path)")
 		scanCache  = flag.String("scan-cache", "off", "audit read strategy: off (direct reads), uncached (per-epoch mappings), on (persistent cache + incremental walks)")
+		cow        = flag.Bool("cow", false, "copy-on-write commit: arm write faults on dirty pages and resume immediately, copying into the backup lazily")
 		vms        = flag.Int("vms", 1, "number of co-located VMs to protect (fleet mode when > 1)")
 		stagger    = flag.Bool("stagger", false, "stagger fleet epoch boundaries (default bound: 1 VM paused at a time)")
 		maxPaused  = flag.Int("max-paused", 0, "fleet: max VMs paused/committing at once (0 = unbounded, or 1 with -stagger)")
@@ -80,6 +81,7 @@ func run() (retErr error) {
 		Modules:          mods,
 		Workers:          *workers,
 		ScanCache:        scMode,
+		CoW:              *cow,
 	}
 	if *bestEffort {
 		cfg.Safety = crimes.BestEffort
@@ -194,6 +196,10 @@ func run() (retErr error) {
 		fmt.Printf("scan cache: hits=%d misses=%d (%.1f%% hit) unmaps=%d swept=%d memo=%d/%d live=%d/%d pages\n",
 			sc.CacheHits, sc.CacheMisses, rate, sc.CacheUnmaps, sc.CacheSwept,
 			sc.MemoHits, sc.MemoHits+sc.MemoMisses, used, capacity)
+	}
+	if cw := sys.Controller.CoWTotals(); cw != (cost.CoWCounts{}) {
+		fmt.Printf("cow: armed=%d write_faults=%d drained=%d\n",
+			cw.ArmedPages, cw.WriteFaults, cw.DrainPages)
 	}
 	return nil
 }

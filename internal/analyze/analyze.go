@@ -85,7 +85,7 @@ func ReplayPinpoint(
 	}
 	defer func() {
 		for pfn := range canaries {
-			dom.UnwatchPage(pfn)
+			dom.UnwatchPage(pfn, hv.AccessWrite)
 		}
 	}()
 	if prevWatches != 0 {

@@ -111,6 +111,9 @@ type Checkpointer struct {
 	undoMem  []byte
 	undoDisk []byte
 
+	// Copy-on-write commit state (EnableCoW); nil on the eager paths.
+	cow *cowState
+
 	report CommitReport
 
 	// closeMu serializes Close so a double close — including concurrent
@@ -498,6 +501,18 @@ func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 		defer c.observeCommit()
 	}
 
+	// CoW: the previous commit's lazy copies must settle before this
+	// commit reads or overwrites the backup. A convergence failure
+	// surfaces here as a commit failure — the backup has already been
+	// reverted to the prior epoch's snapshot by the CoW undo, so the
+	// caller's rollback lands on consistent state.
+	if c.cow != nil {
+		if err := c.quiesceCoW(); err != nil {
+			_ = c.primary.MergeDirty(c.dirty)
+			return cost.Counts{}, fmt.Errorf("checkpoint: cow convergence: %w", err)
+		}
+	}
+
 	// Epoch boundary: drain acknowledgements of previously pipelined
 	// remote shipments without blocking; a persistent ship failure
 	// surfaces here and degrades replication to local-only before this
@@ -507,7 +522,12 @@ func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 		if c.shipErr != nil {
 			err := c.shipErr
 			c.shipErr = nil
-			c.stopShipper()
+			// Stopping drains the rest of the window; a second in-flight
+			// failure surfacing there is folded into this degradation
+			// rather than left parked for a future commit to trip over.
+			if e2 := c.stopShipper(); e2 != nil && err == nil {
+				err = e2
+			}
 			c.degradeRemote(err)
 		}
 	}
@@ -539,6 +559,15 @@ func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
 		TotalPages:  c.primary.Pages(),
 		DirtyPages:  len(dirty),
 		BytesCopied: len(dirty) * mem.PageSize,
+	}
+
+	// CoW takes over from here: dirty metadata is recorded, write
+	// protection armed, and the page copies happen lazily behind the
+	// resumed guest. BytesCopied keeps the memory bytes — they are still
+	// copied, just off the pause-window critical path; the cost model's
+	// CoW pricing is what moves them out of the pause.
+	if c.cow != nil {
+		return c.commitCoW(dirty, diskDirty, counts)
 	}
 
 	// Capture the backup pages and blocks this commit will overwrite.
@@ -672,7 +701,15 @@ func (c *Checkpointer) captureUndo(dirty, diskDirty []mem.PFN) error {
 	}); err != nil {
 		return err
 	}
-	need = len(diskDirty) * vdisk.BlockSize
+	return c.captureDiskUndo(diskDirty)
+}
+
+// captureDiskUndo saves the backup disk blocks the commit is about to
+// overwrite. The CoW commit path uses it alone: disk blocks are still
+// committed eagerly under pause, while the memory undo is captured
+// lazily, page by page, as the backup copies land.
+func (c *Checkpointer) captureDiskUndo(diskDirty []mem.PFN) error {
+	need := len(diskDirty) * vdisk.BlockSize
 	if cap(c.undoDisk) < need {
 		c.undoDisk = make([]byte, need)
 	}
@@ -693,6 +730,11 @@ func (c *Checkpointer) applyUndo(dirty, diskDirty []mem.PFN) {
 		off := i * mem.PageSize
 		_ = c.backup.WritePhys(uint64(pfn)*mem.PageSize, c.undoMem[off:off+mem.PageSize])
 	}
+	c.applyDiskUndo(diskDirty)
+}
+
+// applyDiskUndo restores the backup disk blocks saved by captureDiskUndo.
+func (c *Checkpointer) applyDiskUndo(diskDirty []mem.PFN) {
 	for i, b := range diskDirty {
 		off := i * vdisk.BlockSize
 		_ = c.backupDisk.WriteBlock(int(b), 0, c.undoDisk[off:off+vdisk.BlockSize])
@@ -760,7 +802,9 @@ func (c *Checkpointer) enqueueShipment(dirty []mem.PFN) bool {
 		if c.shipErr != nil {
 			err := c.shipErr
 			c.shipErr = nil
-			c.stopShipper()
+			if e2 := c.stopShipper(); e2 != nil && err == nil {
+				err = e2
+			}
 			c.degradeRemote(err)
 			return false
 		}
@@ -770,11 +814,18 @@ func (c *Checkpointer) enqueueShipment(dirty []mem.PFN) bool {
 	// epoch's scan overwrites while this shipment may still be in flight.
 	s := shipment{pfns: append([]mem.PFN(nil), dirty...), data: make([]byte, len(dirty)*mem.PageSize)}
 	// Snapshot through the worker pool: the backup is immutable until
-	// the next commit, and shards write disjoint regions.
+	// the next commit, and shards write disjoint regions. Under CoW the
+	// backup is still converging toward this epoch, so the snapshot
+	// reads the paused primary instead — it holds exactly the committed
+	// epoch's bytes until the guest resumes.
+	src := c.backup
+	if c.cow != nil {
+		src = c.primary
+	}
 	if err := c.runSharded(len(dirty), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			off := i * mem.PageSize
-			if err := c.backup.ReadPhys(uint64(dirty[i])*mem.PageSize, s.data[off:off+mem.PageSize]); err != nil {
+			if err := src.ReadPhys(uint64(dirty[i])*mem.PageSize, s.data[off:off+mem.PageSize]); err != nil {
 				return err
 			}
 		}
@@ -782,7 +833,7 @@ func (c *Checkpointer) enqueueShipment(dirty []mem.PFN) bool {
 	}); err != nil {
 		// Snapshot failure is local, not a conduit failure; degrade the
 		// same way rather than fail the already-committed epoch.
-		c.stopShipper()
+		_ = c.stopShipper()
 		c.degradeRemote(fmt.Errorf("checkpoint: snapshot for remote ship: %w", err))
 		return false
 	}
@@ -867,10 +918,14 @@ func (c *Checkpointer) noteShipResult(res shipResult) {
 
 // stopShipper shuts the pipelined shipper down, draining every
 // outstanding acknowledgement first (shipRes is buffered to the window
-// size, so the shipper never blocks after its input closes).
-func (c *Checkpointer) stopShipper() {
+// size, so the shipper never blocks after its input closes). Any
+// failure drained while stopping is returned WITH c.shipErr cleared:
+// leaving it parked would make a dead shipper's error sticky, failing
+// commits long after replication already degraded — and tearing down a
+// healthy remote if replication is later re-enabled.
+func (c *Checkpointer) stopShipper() error {
 	if c.shipCh == nil {
-		return
+		return nil
 	}
 	close(c.shipCh)
 	for c.inFlight > 0 {
@@ -878,6 +933,9 @@ func (c *Checkpointer) stopShipper() {
 	}
 	<-c.shipDone
 	c.shipCh, c.shipRes, c.shipDone = nil, nil, nil
+	err := c.shipErr
+	c.shipErr = nil
+	return err
 }
 
 // copyPremapped copies dirty pages through the startup-time global
@@ -951,6 +1009,15 @@ func (c *Checkpointer) Rollback() error {
 	if c.closed {
 		return ErrClosed
 	}
+	// Drain (or cancel) in-flight lazy copies first: rollback restores
+	// the primary from the backup, so the backup must be a settled,
+	// consistent snapshot. A failed convergence has already reverted the
+	// backup — memory and disk — to the previous epoch's snapshot, which
+	// is equally consistent to roll back to, so the error itself needs no
+	// separate surfacing here.
+	if c.cow != nil {
+		_ = c.quiesceCoW()
+	}
 	snap, err := c.backup.DumpMemory()
 	if err != nil {
 		return fmt.Errorf("checkpoint: rollback dump: %w", err)
@@ -983,10 +1050,16 @@ func (c *Checkpointer) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.stopShipper()
-	if c.shipErr != nil {
-		err := c.shipErr
-		c.shipErr = nil
+	if c.cow != nil {
+		// Stop the background copier, then settle any still-pending lazy
+		// copies inline so the backup is a complete snapshot for
+		// post-mortem use.
+		close(c.cow.stop)
+		<-c.cow.done
+		_ = c.quiesceCoW()
+		c.primary.SetWriteFaultHandler(nil)
+	}
+	if err := c.stopShipper(); err != nil {
 		if c.remote != nil {
 			c.degradeRemote(err)
 		}

@@ -178,6 +178,18 @@ type Config struct {
 	// a value past the domain size) caches up to the whole domain. A
 	// fleet divides its host-wide mapping budget across VMs with this.
 	ScanCacheCapacity int
+	// CoW enables the copy-on-write commit strategy: under pause the
+	// commit captures only dirty metadata (the dirty PFN list and undo
+	// intent), write-protects those pages via the hypervisor's memory-
+	// event machinery, and resumes the guest immediately. Pages are then
+	// copied into the backup lazily by a background copier; a guest
+	// write to a not-yet-copied page takes a fault that performs an
+	// eager copy-before-write, so the backup still converges to the
+	// exact paused-instant snapshot. Requires Opt >= cost.Premap (the
+	// copier and fault handler use the premapped global frames) and the
+	// synchronous audit (Scan == ScanSync). The zero value (off) keeps
+	// the eager commit path bit-for-bit identical to previous releases.
+	CoW bool
 	// PauseGate, when non-nil, is acquired immediately before the
 	// domain pauses at the epoch boundary and released when RunEpoch
 	// returns — by which point the domain has resumed, unwound, or been
@@ -260,6 +272,13 @@ type Controller struct {
 	scanMemo  *vmi.WalkMemo
 	scanStats cost.ScanCacheCounts
 
+	// CoW accounting (zero / unused when cfg.CoW is off): cowPrevArmed
+	// is the page count armed at the previous successful commit — the
+	// pool the next epoch's write faults and lazy drain draw from — and
+	// cowStats the cumulative counters for fleet roll-ups.
+	cowPrevArmed int
+	cowStats     cost.CoWCounts
+
 	epoch      int
 	virtualNow time.Duration
 	setupTime  time.Duration
@@ -292,6 +311,10 @@ type coreMetrics struct {
 	// Scan-cache series; registered only when the scan cache is enabled
 	// so cache-off metric dumps are unchanged.
 	scHits, scMisses, scUnmaps, scSwept, scMemoHits, scMemoMisses *obs.Counter
+
+	// CoW series; registered only when CoW checkpointing is enabled so
+	// CoW-off metric dumps are unchanged.
+	cowArmed, cowFaults, cowDrained *obs.Counter
 }
 
 // New creates a controller: it initializes introspection (init +
@@ -299,6 +322,14 @@ type coreMetrics struct {
 // backup domain and performs the initial synchronization.
 func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 	cfg.setDefaults()
+	if cfg.CoW {
+		if cfg.Opt < cost.Premap {
+			return nil, fmt.Errorf("core: CoW commit requires Opt >= Premap (got %v): the background copier and fault handler run over the premapped global frames", cfg.Opt)
+		}
+		if cfg.Scan != ScanSync {
+			return nil, fmt.Errorf("core: CoW commit requires the synchronous audit: the async audit scans the backup, which is still converging while the guest runs")
+		}
+	}
 	c := &Controller{
 		cfg:   cfg,
 		hv:    h,
@@ -348,6 +379,11 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 			return nil, err
 		}
 	}
+	if cfg.CoW {
+		if err := c.ckpt.EnableCoW(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Opt >= cost.Premap {
 		c.setupTime += cfg.Model.PremapStartup(2 * c.dom.Pages())
 	}
@@ -388,6 +424,11 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 			c.met.scSwept = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "sweep")
 			c.met.scMemoHits = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "memo_hit")
 			c.met.scMemoMisses = reg.Counter("crimes_scan_cache_total", "vm", vm, "op", "memo_miss")
+		}
+		if cfg.CoW {
+			c.met.cowArmed = reg.Counter("crimes_cow_total", "vm", vm, "op", "armed")
+			c.met.cowFaults = reg.Counter("crimes_cow_total", "vm", vm, "op", "write_fault")
+			c.met.cowDrained = reg.Counter("crimes_cow_total", "vm", vm, "op", "drained")
 		}
 		c.ckpt.SetObserver(cfg.Obs, vm)
 	}
@@ -476,6 +517,39 @@ func (c *Controller) recordScanCache(d cost.ScanCacheCounts) {
 	c.met.scMemoMisses.Add(int64(d.MemoMisses))
 }
 
+// cowSnapshot captures the cumulative CoW counters at an epoch
+// boundary so the per-epoch delta can be derived at commit time.
+type cowSnapshot struct {
+	armed  int
+	faults uint64
+}
+
+func (c *Controller) cowSnap() cowSnapshot {
+	return cowSnapshot{
+		armed:  c.ckpt.CoWStats().ArmedPages,
+		faults: c.dom.WriteFaults(),
+	}
+}
+
+// cowDelta converts since-epoch-start CoW counters into one epoch's
+// cost-model counts. ArmedPages is the page count write-protected at
+// this epoch's commit; WriteFaults the faults the guest took during the
+// epoch on the previous commit's armed pages.
+func (c *Controller) cowDelta(before cowSnapshot) cost.CoWCounts {
+	now := c.cowSnap()
+	return cost.CoWCounts{
+		ArmedPages:  now.armed - before.armed,
+		WriteFaults: int(now.faults - before.faults),
+	}
+}
+
+// recordCoW folds an epoch's CoW delta into the per-VM metric counters.
+func (c *Controller) recordCoW(d cost.CoWCounts) {
+	c.met.cowArmed.Add(int64(d.ArmedPages))
+	c.met.cowFaults.Add(int64(d.WriteFaults))
+	c.met.cowDrained.Add(int64(d.DrainPages))
+}
+
 // recordEpochMetrics rolls one completed RunEpoch (clean or not) into
 // the per-VM metric series.
 func (c *Controller) recordEpochMetrics(res *EpochResult, err error) {
@@ -524,6 +598,11 @@ func (c *Controller) Epoch() int { return c.epoch }
 // reporting rolls these up per VM.
 func (c *Controller) ScanCacheTotals() cost.ScanCacheCounts { return c.scanStats }
 
+// CoWTotals returns the cumulative copy-on-write commit counters
+// across all epochs (all zero when CoW is disabled). Fleet reporting
+// rolls these up per VM.
+func (c *Controller) CoWTotals() cost.CoWCounts { return c.cowStats }
+
 // ScanCacheLive reports the page-mapping cache's current size and
 // capacity in pages (0, 0 when the scan cache is disabled).
 func (c *Controller) ScanCacheLive() (used, capacity int) {
@@ -565,6 +644,10 @@ type EpochResult struct {
 	// ScanCache is the epoch's scan-path cache activity (page-mapping
 	// cache plus walk memo); zero when the scan cache is disabled.
 	ScanCache cost.ScanCacheCounts
+	// CoW is the epoch's copy-on-write commit activity (pages armed at
+	// this commit, write faults taken during the epoch, previously
+	// armed pages drained lazily); zero when CoW is disabled.
+	CoW cost.CoWCounts
 }
 
 // Unwind paths a failing epoch can take; see Recovery.Unwind.
@@ -698,6 +781,10 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	var hcBefore hv.Hypercalls
 	if c.obs != nil {
 		hcBefore = c.domainCalls()
+	}
+	var cowBefore cowSnapshot
+	if c.cfg.CoW {
+		cowBefore = c.cowSnap()
 	}
 
 	// Speculative execution.
@@ -844,11 +931,31 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			Retries: res.Recovery.Retries})
 		return res, c.unwindRollback(res, fmt.Errorf("core: epoch %d commit: %w", c.epoch, err))
 	}
+	if c.cfg.CoW {
+		// The commit quiesced the previous epoch's arm set on entry and
+		// armed this epoch's dirty pages on exit: whatever the guest did
+		// not fault on during the epoch was (or will be) settled by the
+		// background copier.
+		res.CoW = c.cowDelta(cowBefore)
+		if res.CoW.DrainPages = c.cowPrevArmed - res.CoW.WriteFaults; res.CoW.DrainPages < 0 {
+			res.CoW.DrainPages = 0
+		}
+		c.cowPrevArmed = res.CoW.ArmedPages
+		c.cowStats.Add(res.CoW)
+	}
 	if c.obs != nil {
 		delta := hypercallDelta(hcBefore, c.domainCalls())
 		c.recordHypercalls(delta)
-		c.emit(obs.Event{Phase: obs.PhaseCommit, DurNs: int64(time.Since(commitStart)),
-			Pages: counts.DirtyPages, Retries: res.Recovery.Retries, Hypercalls: &delta})
+		ev := obs.Event{Phase: obs.PhaseCommit, DurNs: int64(time.Since(commitStart)),
+			Pages: counts.DirtyPages, Retries: res.Recovery.Retries, Hypercalls: &delta}
+		if c.cfg.CoW {
+			c.recordCoW(res.CoW)
+			if res.CoW != (cost.CoWCounts{}) {
+				ev.CoW = &obs.CoW{Armed: res.CoW.ArmedPages,
+					WriteFaults: res.CoW.WriteFaults, Drained: res.CoW.DrainPages}
+			}
+		}
+		c.emit(ev)
 		if rep.RemoteAcked > 0 || rep.RemoteInFlight > 0 || rep.RemoteDegraded || counts.RemotePages > 0 {
 			action := ""
 			if rep.RemoteDegraded {
@@ -908,7 +1015,17 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	counts.VMINodes = scanCounts.NodesWalked
 	counts.Canaries = scanCounts.CanariesChecked
 	res.Counts = counts
-	res.Phases = c.cfg.Model.CheckpointParallel(c.cfg.Opt, counts, c.cfg.Workers)
+	if c.cfg.CoW {
+		// The CoW commit arms the dirty pages instead of copying them
+		// under pause; faults taken during the epoch are guest-time
+		// overhead (the guest was running), not pause, so they advance
+		// the virtual clock directly.
+		var faultNs time.Duration
+		res.Phases, faultNs = c.cfg.Model.CheckpointCoW(c.cfg.Opt, counts, c.cfg.Workers, res.CoW, c.cfg.EpochInterval)
+		c.virtualNow += faultNs
+	} else {
+		res.Phases = c.cfg.Model.CheckpointParallel(c.cfg.Opt, counts, c.cfg.Workers)
+	}
 	if c.cfg.Workers > 1 && len(c.cfg.Modules) > 1 && c.cfg.Scan == ScanSync {
 		// Detector modules scanned concurrently; the cost model leaves
 		// audit concurrency to the caller, which knows the module count.
@@ -985,6 +1102,9 @@ func (c *Controller) unwindRollback(res *EpochResult, cause error) error {
 	if err := c.retryOp(res, c.ckpt.Rollback); err != nil {
 		return c.haltDomain(res, errors.Join(cause, err))
 	}
+	// Rollback quiesced the CoW engine: nothing is armed anymore, so the
+	// next commit's lazy drain starts from an empty pool.
+	c.cowPrevArmed = 0
 	c.guest.RestoreState(c.lastState)
 	// The restore rewrote guest memory without passing through the dirty
 	// log, so no bitmap describes what changed: drop every cached
@@ -1021,6 +1141,13 @@ func (c *Controller) haltDomain(res *EpochResult, cause error) error {
 }
 
 func (c *Controller) retainHistory() error {
+	// History snapshots the backup, so the CoW lazy copies armed by the
+	// commit just above must settle first. This makes HistoryDepth > 0
+	// an effective eager drain every epoch — correct, but it forfeits
+	// most of the CoW pause win.
+	if err := c.ckpt.Quiesce(); err != nil {
+		return fmt.Errorf("core: retain history: %w", err)
+	}
 	snap, err := c.ckpt.Backup().DumpMemory()
 	if err != nil {
 		return fmt.Errorf("core: retain history: %w", err)
@@ -1041,6 +1168,12 @@ func (c *Controller) retainHistory() error {
 func (c *Controller) respond(findings []detect.Finding, scanCounts *detect.ScanCounts) (*Incident, error) {
 	c.buf.Discard()
 
+	// The backup may still be converging on the previous commit's
+	// snapshot (CoW lazy copies in flight): settle it before treating it
+	// as the last-good forensic dump. No-op when CoW is off.
+	if err := c.ckpt.Quiesce(); err != nil {
+		return nil, err
+	}
 	dumps, err := analyze.CaptureDumps(c.guest, c.ckpt)
 	if err != nil {
 		return nil, err

@@ -77,6 +77,19 @@ type Model struct {
 	ScanSweepEntryNs float64 // per cached entry examined by an invalidation sweep
 	ScanMemoHitNs    float64 // returning one memoized structure walk
 
+	// Copy-on-write commit path. Arming write protection on the dirty
+	// set replaces copying it under pause: one batched event-config
+	// hypercall (CowArmBaseNs) plus an EPT permission flip per page
+	// (CowArmPageNs, ~27x cheaper than memcpying the page). Each write
+	// fault the guest then takes on a protected page costs a VM exit
+	// plus an eager copy-before-write (CowFaultNs), charged to guest
+	// execution time rather than the pause window. None of these is
+	// consulted unless CoW is enabled, so the CoW-off configuration
+	// reproduces existing numbers bit-for-bit.
+	CowArmBaseNs float64
+	CowArmPageNs float64
+	CowFaultNs   float64
+
 	// Parallel pause path. Sharded copy/scan workers obey Amdahl's law:
 	// WorkerSerialFrac is the fraction of each parallelized phase that
 	// stays serial (shard dispatch, cache-line and memory-bus
@@ -124,6 +137,10 @@ func Default() Model {
 		ScanCacheHitNs:   25,
 		ScanSweepEntryNs: 15,
 		ScanMemoHitNs:    150,
+
+		CowArmBaseNs: 5.0e4,
+		CowArmPageNs: 120,
+		CowFaultNs:   8.0e3,
 
 		WorkerSerialFrac: 0.05,
 		WorkerSpawnNs:    2.0e4,
@@ -347,6 +364,52 @@ func (m Model) ScanCacheOverhead(s ScanCacheCounts) time.Duration {
 		m.ScanCacheHitNs*float64(s.CacheHits) +
 		m.ScanSweepEntryNs*float64(s.CacheSwept) +
 		m.ScanMemoHitNs*float64(s.MemoHits))
+}
+
+// CoWCounts are the real copy-on-write commit counts one epoch
+// produced. All three are deterministic functions of the guest's
+// behavior — the background copier's racy eager/lazy split never
+// appears here, so CoW pricing is reproducible run to run.
+type CoWCounts struct {
+	ArmedPages  int // dirty pages write-protected at this commit
+	WriteFaults int // write faults taken on armed pages since the previous commit
+	DrainPages  int // previous commit's armed pages settled lazily (armed - faulted)
+}
+
+// Add accumulates another counter set into c.
+func (c *CoWCounts) Add(o CoWCounts) {
+	c.ArmedPages += o.ArmedPages
+	c.WriteFaults += o.WriteFaults
+	c.DrainPages += o.DrainPages
+}
+
+// CheckpointCoW prices one copy-on-write commit: the pause window plus
+// the guest-visible overhead charged to epoch execution time.
+//
+// Under CoW the dirty memory pages are not copied while the guest is
+// frozen — the pause pays only write-protection arming (one batched
+// hypercall plus a per-page permission flip), so the copy phase loses
+// its O(dirty bytes) memcpy term and pause grows sublinearly in the
+// working set. Disk blocks are still committed eagerly under pause, so
+// their bytes stay in the copy phase. The pages are copied into the
+// backup behind the resumed guest: lazy copies overlap the next epoch's
+// execution and only their excess beyond the epoch interval extends the
+// pause (the next commit must wait for convergence), while each eager
+// copy-before-write costs the guest a write-fault VM exit, returned as
+// overhead for the caller to charge to the virtual clock.
+func (m Model) CheckpointCoW(opt Optimization, c Counts, workers int, cw CoWCounts, epoch time.Duration) (Phases, time.Duration) {
+	local := c
+	local.BytesCopied -= cw.ArmedPages * 4096
+	if local.BytesCopied < 0 {
+		local.BytesCopied = 0
+	}
+	p := m.CheckpointParallel(opt, local, workers)
+	p.Copy += ns(m.CowArmBaseNs + m.CowArmPageNs*float64(cw.ArmedPages))
+	if lazy := ns(m.MemcpyByteNs * float64(cw.DrainPages) * 4096); lazy > epoch {
+		p.Copy += lazy - epoch
+	}
+	overhead := ns(m.CowFaultNs * float64(cw.WriteFaults))
+	return p, overhead
 }
 
 // PremapStartup prices the one-time global mapping for Premap/Full.

@@ -60,6 +60,7 @@ func All() []struct {
 		{"pause", PauseParallel},
 		{"fleet", FleetScaling},
 		{"scan", ScanCacheComparison},
+		{"cow", CoWComparison},
 	}
 }
 

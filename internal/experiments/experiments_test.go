@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	for _, e := range all {
 		if _, err := ByID(e.ID); err != nil {

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// TestFleetCoWRollup: a fleet of CoW-enabled VMs runs clean epochs
+// under the shared pause gate, every controller reports armed pages,
+// and the report rolls the counters up and renders them.
+func TestFleetCoWRollup(t *testing.T) {
+	const vms, epochs = 3, 4
+	f := newTestFleet(t, Config{
+		VMs:     vms,
+		Stagger: true,
+		Seed:    1,
+		Core: core.Config{
+			EpochInterval: 10 * time.Millisecond,
+			CoW:           true,
+		},
+	})
+	rep := f.Run(epochs, testWork(t, vms, 10*time.Millisecond))
+	var sum cost.CoWCounts
+	for _, s := range rep.VMs {
+		if s.Err != "" || s.Halted {
+			t.Fatalf("%s: err=%q halted=%v", s.Name, s.Err, s.Halted)
+		}
+		if s.CleanEpochs != epochs {
+			t.Errorf("%s: %d clean epochs, want %d", s.Name, s.CleanEpochs, epochs)
+		}
+		if s.CoW.ArmedPages == 0 {
+			t.Errorf("%s: no CoW activity: %+v", s.Name, s.CoW)
+		}
+		sum.Add(s.CoW)
+	}
+	if rep.CoW != sum {
+		t.Errorf("report roll-up = %+v, want sum of per-VM stats %+v", rep.CoW, sum)
+	}
+	if !strings.Contains(rep.Render(), "cow:") {
+		t.Errorf("render missing cow line:\n%s", rep.Render())
+	}
+}
+
+// TestFleetCoWOffReportUnchanged: with CoW off the report carries no
+// CoW counters and renders no cow line, so default fleet output is
+// byte-compatible with previous releases.
+func TestFleetCoWOffReportUnchanged(t *testing.T) {
+	const vms = 2
+	f := newTestFleet(t, Config{VMs: vms, Stagger: true, Seed: 1})
+	rep := f.Run(2, testWork(t, vms, 10*time.Millisecond))
+	if rep.CoW != (cost.CoWCounts{}) {
+		t.Errorf("CoW-off report carries counters: %+v", rep.CoW)
+	}
+	if strings.Contains(rep.Render(), "cow:") {
+		t.Errorf("CoW-off render grew a cow line:\n%s", rep.Render())
+	}
+}

@@ -125,6 +125,9 @@ type Stats struct {
 	ScanCache         cost.ScanCacheCounts
 	ScanCachePages    int
 	ScanCacheCapacity int
+	// CoW is the VM's cumulative copy-on-write commit activity. All
+	// zero when CoW checkpointing is off.
+	CoW cost.CoWCounts
 	// Err records the error that stopped the VM's loop, if any.
 	Err string
 }
@@ -183,7 +186,16 @@ func New(cfg Config) (*Fleet, error) {
 		ccfg := cfg.Core
 		ccfg.PauseGate = f.gate
 		if cfg.ScanCacheBudgetPages > 0 && ccfg.ScanCache != core.ScanCacheOff {
+			// Split the budget without dropping the integer-division
+			// remainder: the first budget%VMs VMs take one extra page.
+			// A nonzero budget always grants at least one page — the
+			// plain quotient goes to zero once budget < VMs, and a zero
+			// capacity means "cache the whole domain", silently blowing
+			// the budget instead of shrinking under it.
 			per := cfg.ScanCacheBudgetPages / cfg.VMs
+			if i < cfg.ScanCacheBudgetPages%cfg.VMs {
+				per++
+			}
 			if per < 1 {
 				per = 1
 			}
@@ -288,6 +300,7 @@ func (vm *VM) Stats() Stats {
 	}
 	s.ScanCache = vm.Controller.ScanCacheTotals()
 	s.ScanCachePages, s.ScanCacheCapacity = vm.Controller.ScanCacheLive()
+	s.CoW = vm.Controller.CoWTotals()
 	return s
 }
 
@@ -317,6 +330,9 @@ type Report struct {
 	// zero when the scan cache is off.
 	ScanCache      cost.ScanCacheCounts
 	ScanCachePages int
+	// CoW aggregates every VM's copy-on-write commit counters; zero
+	// when CoW checkpointing is off.
+	CoW cost.CoWCounts
 }
 
 // Report snapshots the fleet's current accounting.
@@ -342,6 +358,7 @@ func (f *Fleet) Report() *Report {
 		r.TotalIncidents += s.Incidents
 		r.ScanCache.Add(s.ScanCache)
 		r.ScanCachePages += s.ScanCachePages
+		r.CoW.Add(s.CoW)
 	}
 	if f.cfg.Core.Obs.Enabled() {
 		reg := f.cfg.Core.Obs.Registry()
@@ -393,6 +410,11 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "scan cache: hits=%d misses=%d (%.1f%% hit) unmaps=%d swept=%d memo=%d/%d live=%d pages\n",
 			sc.CacheHits, sc.CacheMisses, rate, sc.CacheUnmaps, sc.CacheSwept,
 			sc.MemoHits, sc.MemoHits+sc.MemoMisses, r.ScanCachePages)
+	}
+	// Likewise the CoW line: absent unless CoW commits did work.
+	if r.CoW != (cost.CoWCounts{}) {
+		fmt.Fprintf(&b, "cow: armed=%d write_faults=%d drained=%d\n",
+			r.CoW.ArmedPages, r.CoW.WriteFaults, r.CoW.DrainPages)
 	}
 	return b.String()
 }

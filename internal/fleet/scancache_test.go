@@ -46,6 +46,50 @@ func TestFleetScanCacheBudgetSplit(t *testing.T) {
 	}
 }
 
+// TestFleetScanCacheBudgetRemainder: the budget split hands the
+// integer-division remainder to the first budget%VMs VMs instead of
+// dropping it — 10 pages across 4 VMs is 3,3,2,2, not 2,2,2,2.
+func TestFleetScanCacheBudgetRemainder(t *testing.T) {
+	const vms, budget = 4, 10
+	f := newTestFleet(t, Config{
+		VMs:                  vms,
+		Seed:                 1,
+		ScanCacheBudgetPages: budget,
+		Core:                 core.Config{ScanCache: core.ScanCacheOn},
+	})
+	want := []int{3, 3, 2, 2}
+	total := 0
+	for i, vm := range f.VMs() {
+		_, capacity := vm.Controller.ScanCacheLive()
+		if capacity != want[i] {
+			t.Errorf("%s: cache capacity = %d, want %d", vm.Name, capacity, want[i])
+		}
+		total += capacity
+	}
+	if total != budget {
+		t.Errorf("capacities sum to %d, want the full budget %d", total, budget)
+	}
+}
+
+// TestFleetScanCacheBudgetBelowVMs: a budget smaller than the fleet
+// still grants every VM one page. The old quotient-only split computed
+// per=0, and a zero capacity means "cache the whole domain" — silently
+// disabling the budget exactly when memory is scarcest.
+func TestFleetScanCacheBudgetBelowVMs(t *testing.T) {
+	const vms, budget = 4, 2
+	f := newTestFleet(t, Config{
+		VMs:                  vms,
+		Seed:                 1,
+		ScanCacheBudgetPages: budget,
+		Core:                 core.Config{ScanCache: core.ScanCacheOn},
+	})
+	for _, vm := range f.VMs() {
+		if _, capacity := vm.Controller.ScanCacheLive(); capacity != 1 {
+			t.Errorf("%s: cache capacity = %d, want the 1-page floor", vm.Name, capacity)
+		}
+	}
+}
+
 // TestFleetScanCacheOffReportUnchanged: with the cache off the report
 // carries no cache counters and renders no scan-cache line, so default
 // fleet output is byte-compatible with previous releases.

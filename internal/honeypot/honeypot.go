@@ -123,7 +123,7 @@ func (h *Honeypot) Observations() []Observation {
 // Release stops monitoring and pauses the VM again.
 func (h *Honeypot) Release() error {
 	for _, pfn := range h.watched {
-		h.dom.UnwatchPage(pfn)
+		h.dom.UnwatchPage(pfn, hv.AccessWrite)
 	}
 	h.watched = nil
 	if h.dom.State() == hv.StateRunning {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/mem"
@@ -92,6 +93,35 @@ const (
 	AccessWrite
 	AccessExec
 )
+
+// accessKinds enumerates the single-bit access kinds, indexing the
+// per-kind refcounts in a watchEntry.
+var accessKinds = [...]AccessKind{AccessRead, AccessWrite, AccessExec}
+
+// watchEntry is the per-page watch state: independent event-watch
+// refcounts per access kind, so co-watching subsystems (honeypot decoys,
+// forensic tripwires, the CoW copier) never clobber each other, plus a
+// single-shot write-fault arm for copy-on-write checkpointing.
+type watchEntry struct {
+	refs  [len(accessKinds)]int
+	fault bool
+}
+
+// kinds returns the union of access kinds with live event watches.
+func (e *watchEntry) kinds() AccessKind {
+	var k AccessKind
+	for i, a := range accessKinds {
+		if e.refs[i] > 0 {
+			k |= a
+		}
+	}
+	return k
+}
+
+// empty reports whether the entry holds no watches of any sort.
+func (e *watchEntry) empty() bool {
+	return !e.fault && e.kinds() == 0
+}
 
 // MemEvent is a single entry in a domain's memory-event ring, produced
 // when a watched page is accessed.
@@ -213,7 +243,7 @@ func (h *Hypervisor) CreateDomain(name string, pages int) (*Domain, error) {
 		physmap: mfns,
 		state:   StateRunning,
 		dirty:   mem.NewBitmap(pages),
-		watches: make(map[mem.PFN]AccessKind),
+		watches: make(map[mem.PFN]*watchEntry),
 	}
 	h.mu.Lock()
 	d.id = h.nextID
@@ -269,8 +299,18 @@ type Domain struct {
 	dirtyLogging bool
 	dirty        *mem.Bitmap
 
-	watches map[mem.PFN]AccessKind
-	ring    []MemEvent
+	// watchMu guards watches, writeFaults, and faultHandler. watchCount
+	// mirrors len(watches) so the access hot path can skip the lock when
+	// no watches are armed. ringMu guards the event ring separately so
+	// pollers never contend with the fault path.
+	watchMu      sync.RWMutex
+	watches      map[mem.PFN]*watchEntry
+	watchCount   atomic.Int32
+	writeFaults  uint64
+	faultHandler func(mem.PFN)
+
+	ringMu sync.Mutex
+	ring   []MemEvent
 
 	bytesWritten uint64 // cumulative guest-physical bytes written
 
@@ -399,7 +439,7 @@ func (d *Domain) access(paddr uint64, buf []byte, write bool) error {
 	// writes dominate the hot path, and almost no domain has memory-event
 	// watches armed, so the common case must not pay per-page event
 	// bookkeeping.
-	watched := len(d.watches) != 0
+	watched := d.watchCount.Load() != 0
 	off := 0
 	for off < len(buf) {
 		pfn := mem.PFN((paddr + uint64(off)) >> mem.PageShift)
@@ -413,6 +453,11 @@ func (d *Domain) access(paddr uint64, buf []byte, write bool) error {
 			return fmt.Errorf("domain %d pfn %d: %w", d.id, pfn, err)
 		}
 		if write {
+			if watched {
+				// The write trap fires before the bytes land, EPT-style:
+				// the handler observes the page's pre-write contents.
+				d.deliverWriteFault(pfn)
+			}
 			copy(frame[inPage:inPage+n], buf[off:off+n])
 			if d.dirtyLogging {
 				d.dirty.Set(int(pfn))
@@ -479,43 +524,179 @@ func (d *Domain) MarkAllDirty() {
 }
 
 // WatchPage registers a memory-event watch on a guest page. Events for
-// matching accesses are appended to the domain's event ring.
+// matching accesses are appended to the domain's event ring. Watches are
+// refcounted per access kind: two subsystems watching the same page and
+// kind each hold an independent registration, released one UnwatchPage
+// at a time.
 func (d *Domain) WatchPage(pfn mem.PFN, access AccessKind) error {
 	if uint64(pfn) >= uint64(len(d.physmap)) {
 		return fmt.Errorf("watch pfn %d: %w", pfn, ErrBadAddress)
 	}
 	d.hv.countCalls(d, func(c *Hypercalls) { c.EventConfig++ })
-	d.watches[pfn] |= access
+	d.watchMu.Lock()
+	e := d.watches[pfn]
+	if e == nil {
+		e = &watchEntry{}
+		d.watches[pfn] = e
+		d.watchCount.Add(1)
+	}
+	for i, a := range accessKinds {
+		if access&a != 0 {
+			e.refs[i]++
+		}
+	}
+	d.watchMu.Unlock()
 	return nil
 }
 
-// UnwatchPage removes all watches on a guest page.
-func (d *Domain) UnwatchPage(pfn mem.PFN) {
+// UnwatchPage releases one registration of the given access kinds on a
+// guest page. Other kinds — and other registrations of the same kind —
+// stay armed; the page is forgotten only when every refcount (and any
+// write-fault arm) is gone.
+func (d *Domain) UnwatchPage(pfn mem.PFN, access AccessKind) {
 	d.hv.countCalls(d, func(c *Hypercalls) { c.EventConfig++ })
-	delete(d.watches, pfn)
+	d.watchMu.Lock()
+	if e := d.watches[pfn]; e != nil {
+		for i, a := range accessKinds {
+			if access&a != 0 && e.refs[i] > 0 {
+				e.refs[i]--
+			}
+		}
+		if e.empty() {
+			delete(d.watches, pfn)
+			d.watchCount.Add(-1)
+		}
+	}
+	d.watchMu.Unlock()
 }
 
-// WatchCount reports how many pages are currently watched.
-func (d *Domain) WatchCount() int { return len(d.watches) }
+// WatchCount reports how many pages currently carry any watch or
+// write-fault arm.
+func (d *Domain) WatchCount() int {
+	return int(d.watchCount.Load())
+}
+
+// ArmWriteFaults write-protects a batch of guest pages for copy-on-write
+// checkpointing: the next write to each page synchronously invokes the
+// domain's write-fault handler (before the write lands), then the arm is
+// consumed. The whole batch is one event-configuration hypercall — the
+// point of CoW is that protecting N pages is radically cheaper than
+// copying them. Arms are all-or-nothing: a bad PFN fails the call before
+// any page is protected.
+func (d *Domain) ArmWriteFaults(pfns []mem.PFN) error {
+	if len(pfns) == 0 {
+		return nil
+	}
+	for _, pfn := range pfns {
+		if uint64(pfn) >= uint64(len(d.physmap)) {
+			return fmt.Errorf("arm write fault pfn %d: %w", pfn, ErrBadAddress)
+		}
+	}
+	d.hv.countCalls(d, func(c *Hypercalls) { c.EventConfig++ })
+	d.watchMu.Lock()
+	for _, pfn := range pfns {
+		e := d.watches[pfn]
+		if e == nil {
+			e = &watchEntry{}
+			d.watches[pfn] = e
+			d.watchCount.Add(1)
+		}
+		e.fault = true
+	}
+	d.watchMu.Unlock()
+	return nil
+}
+
+// DisarmWriteFaults drops the write-fault arms on a batch of pages (one
+// event-configuration hypercall for the whole batch), returning how many
+// were still armed. Event watches on the same pages are untouched.
+func (d *Domain) DisarmWriteFaults(pfns []mem.PFN) int {
+	if len(pfns) == 0 {
+		return 0
+	}
+	d.hv.countCalls(d, func(c *Hypercalls) { c.EventConfig++ })
+	cleared := 0
+	d.watchMu.Lock()
+	for _, pfn := range pfns {
+		if e := d.watches[pfn]; e != nil && e.fault {
+			e.fault = false
+			cleared++
+			if e.empty() {
+				delete(d.watches, pfn)
+				d.watchCount.Add(-1)
+			}
+		}
+	}
+	d.watchMu.Unlock()
+	return cleared
+}
+
+// SetWriteFaultHandler installs the function invoked synchronously when
+// an armed page takes its write fault. The handler runs on the writing
+// goroutine with no domain locks held, before the faulting bytes land,
+// so it may read the page's pre-write contents (via a premapped frame,
+// not ReadPhys, to avoid re-entering the access path).
+func (d *Domain) SetWriteFaultHandler(h func(mem.PFN)) {
+	d.watchMu.Lock()
+	d.faultHandler = h
+	d.watchMu.Unlock()
+}
+
+// WriteFaults reports the cumulative number of write faults this domain
+// has taken on armed pages — the per-domain CoW accounting the cost
+// model prices.
+func (d *Domain) WriteFaults() uint64 {
+	d.watchMu.RLock()
+	defer d.watchMu.RUnlock()
+	return d.writeFaults
+}
+
+// deliverWriteFault consumes a single-shot write-fault arm on pfn, if
+// one is set, and invokes the handler. The arm is cleared before the
+// handler runs (the fault is the protection being lifted), so re-entrant
+// writes from the handler cannot fault again.
+func (d *Domain) deliverWriteFault(pfn mem.PFN) {
+	d.watchMu.Lock()
+	e := d.watches[pfn]
+	if e == nil || !e.fault {
+		d.watchMu.Unlock()
+		return
+	}
+	e.fault = false
+	if e.empty() {
+		delete(d.watches, pfn)
+		d.watchCount.Add(-1)
+	}
+	d.writeFaults++
+	h := d.faultHandler
+	d.watchMu.Unlock()
+	if h != nil {
+		h(pfn)
+	}
+}
 
 // PollEvents drains and returns the pending memory events.
 func (d *Domain) PollEvents() []MemEvent {
+	d.ringMu.Lock()
 	evs := d.ring
 	d.ring = nil
+	d.ringMu.Unlock()
 	return evs
 }
 
 func (d *Domain) fireEvent(pfn mem.PFN, off uint64, n int, access AccessKind, data []byte) {
-	if len(d.watches) == 0 {
-		return
-	}
-	kinds, ok := d.watches[pfn]
-	if !ok || kinds&access == 0 {
+	d.watchMu.RLock()
+	e := d.watches[pfn]
+	match := e != nil && e.kinds()&access != 0
+	d.watchMu.RUnlock()
+	if !match {
 		return
 	}
 	ev := MemEvent{PFN: pfn, Offset: off, Length: n, Access: access, VCPU: d.vcpu}
 	if data != nil {
 		ev.Data = append([]byte(nil), data...)
 	}
+	d.ringMu.Lock()
 	d.ring = append(d.ring, ev)
+	d.ringMu.Unlock()
 }

@@ -199,7 +199,7 @@ func TestMemoryEvents(t *testing.T) {
 	if len(d.PollEvents()) != 0 {
 		t.Fatal("events not drained")
 	}
-	d.UnwatchPage(2)
+	d.UnwatchPage(2, AccessRead|AccessWrite|AccessExec)
 	if err := d.WritePhys(2*mem.PageSize, []byte{1}); err != nil {
 		t.Fatalf("WritePhys: %v", err)
 	}

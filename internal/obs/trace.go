@@ -71,6 +71,16 @@ type ScanCache struct {
 	MemoMisses int `json:"memo_misses,omitempty"`
 }
 
+// CoW is a per-event copy-on-write commit delta: pages write-protected
+// at the commit, write faults taken on armed pages during the epoch,
+// and previously armed pages the background copier settled lazily.
+// Plain ints keep this package dependency-free, mirroring Hypercalls.
+type CoW struct {
+	Armed       int `json:"armed,omitempty"`
+	WriteFaults int `json:"write_faults,omitempty"`
+	Drained     int `json:"drained,omitempty"`
+}
+
 // Event is one trace record: a single phase of a single VM's epoch.
 // Virtual durations (run, rollback) are deterministic cost-model time;
 // DurNs on commit is the measured wall-clock commit time.
@@ -114,6 +124,9 @@ type Event struct {
 	// ScanCache is the epoch's scan-path cache delta, attached to the
 	// scan event when the scan cache is enabled.
 	ScanCache *ScanCache `json:"scan_cache,omitempty"`
+	// CoW is the epoch's copy-on-write commit delta, attached to the
+	// commit event when CoW checkpointing is enabled.
+	CoW *CoW `json:"cow,omitempty"`
 }
 
 // Sink receives trace events. Implementations must be safe for
