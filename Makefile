@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test verify verify-quick bench pause-json bench-fleet \
-	bench-scan bench-cow fmt-check ci bench-drift
+	bench-scan bench-cow bench-remus fmt-check ci bench-drift
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,8 @@ verify-quick:
 		-trace /tmp/crimes-verify-trace.jsonl -metrics /tmp/crimes-verify-metrics.txt >/dev/null
 	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 -cow \
 		-trace /tmp/crimes-verify-trace-cow.jsonl -metrics /tmp/crimes-verify-metrics-cow.txt >/dev/null
+	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 -remus delta+dedup -opt noopt \
+		-trace /tmp/crimes-verify-trace-delta.jsonl -metrics /tmp/crimes-verify-metrics-delta.txt >/dev/null
 
 # gofmt gate: fail listing any file that is not gofmt-clean.
 fmt-check:
@@ -39,8 +41,8 @@ fmt-check:
 # deterministic cost model, so regenerating them must be a no-op. Any
 # diff means a change altered the priced pause path (or the artifacts
 # were not regenerated) and must be committed deliberately.
-bench-drift: pause-json bench-fleet bench-scan bench-cow
-	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json BENCH_cow.json
+bench-drift: pause-json bench-fleet bench-scan bench-cow bench-remus
+	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json BENCH_cow.json BENCH_remus.json
 
 # Everything the CI workflow runs, in the same order, for local use.
 ci: fmt-check build
@@ -73,3 +75,10 @@ bench-scan:
 # commits with Workers=1 and a fixed seed, so it too is byte-stable.
 bench-cow:
 	$(GO) run ./cmd/crimes-bench -cow-json BENCH_cow.json
+
+# Regenerate the machine-readable delta-replication benchmark: the real
+# controller sweeps dirty-set sizes and rewrite locality under the raw,
+# delta, and delta+dedup wire protocols with Workers=1 and a fixed
+# seed, so it too is byte-stable.
+bench-remus:
+	$(GO) run ./cmd/crimes-bench -remus-json BENCH_remus.json

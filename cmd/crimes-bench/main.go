@@ -32,6 +32,7 @@ func run() error {
 		fleetJSON = flag.String("fleet-json", "", "write the fleet-scheduling benchmark as JSON to this path and exit")
 		scanJSON  = flag.String("scan-json", "", "write the scan-path cache benchmark as JSON to this path and exit")
 		cowJSON   = flag.String("cow-json", "", "write the CoW commit benchmark as JSON to this path and exit")
+		remusJSON = flag.String("remus-json", "", "write the delta-replication benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -83,6 +84,17 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *cowJSON, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *cowJSON)
+		return nil
+	}
+	if *remusJSON != "" {
+		out, err := experiments.DeltaSweepJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*remusJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *remusJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *remusJSON)
 		return nil
 	}
 	if *exp != "" {

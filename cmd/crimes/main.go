@@ -51,6 +51,9 @@ func run() (retErr error) {
 		modules    = flag.String("modules", "default", "comma-separated detector modules (see -modules list)")
 		faultSpec  = flag.String("fault", "", "inject a fault: site:N[:transient] fails the Nth call at site (e.g. hv.suspend:2, remus.send:1:transient)")
 		workers    = flag.Int("workers", 0, "pause-path worker pool size (0 = GOMAXPROCS, 1 = exact serial path)")
+		optLevel   = flag.String("opt", "full", "checkpointing optimization level: noopt|memcpy|premap|full (noopt ships every dirty page through the encrypted conduit)")
+		remusMode  = flag.String("remus", "raw", "replication wire protocol: raw (full page copies), delta (XOR-delta vs last shipped), delta+dedup (delta + content-hash dedup)")
+		remusBudg  = flag.Int("remus-budget", 0, "delta modes: shipped-version table budget in pages (0 = unbounded)")
 		scanCache  = flag.String("scan-cache", "off", "audit read strategy: off (direct reads), uncached (per-epoch mappings), on (persistent cache + incremental walks)")
 		cow        = flag.Bool("cow", false, "copy-on-write commit: arm write faults on dirty pages and resume immediately, copying into the backup lazily")
 		vms        = flag.Int("vms", 1, "number of co-located VMs to protect (fleet mode when > 1)")
@@ -75,13 +78,24 @@ func run() (retErr error) {
 	if err != nil {
 		return err
 	}
+	rmMode, err := crimes.ParseRemusMode(*remusMode)
+	if err != nil {
+		return err
+	}
+	opt, err := parseOpt(*optLevel)
+	if err != nil {
+		return err
+	}
 	cfg := crimes.Config{
 		EpochInterval:    *interval,
 		ReplayOnIncident: true,
 		Modules:          mods,
 		Workers:          *workers,
+		Opt:              opt,
 		ScanCache:        scMode,
 		CoW:              *cow,
+		Remus:            rmMode,
+		RemusBudgetPages: *remusBudg,
 	}
 	if *bestEffort {
 		cfg.Safety = crimes.BestEffort
@@ -201,7 +215,28 @@ func run() (retErr error) {
 		fmt.Printf("cow: armed=%d write_faults=%d drained=%d\n",
 			cw.ArmedPages, cw.WriteFaults, cw.DrainPages)
 	}
+	if rp := sys.Controller.ReplicationTotals(); rp != (cost.ReplicationCounts{}) {
+		fmt.Printf("replication: wire=%d raw=%d (%.1f%% cut) pages raw=%d delta=%d same=%d dup=%d zero=%d\n",
+			rp.WireBytes, rp.RawBytes, 100*rp.Reduction(),
+			rp.RawPages, rp.DeltaPages, rp.SamePages, rp.DupPages, rp.ZeroPages)
+	}
 	return nil
+}
+
+// parseOpt parses the -opt checkpointing optimization level.
+func parseOpt(s string) (cost.Optimization, error) {
+	switch s {
+	case "noopt", "none":
+		return crimes.OptNone, nil
+	case "memcpy":
+		return crimes.OptMemcpy, nil
+	case "premap":
+		return crimes.OptPremap, nil
+	case "full", "":
+		return crimes.OptFull, nil
+	default:
+		return 0, fmt.Errorf("unknown -opt level %q (want noopt|memcpy|premap|full)", s)
+	}
 }
 
 // fleetOpts collects the fleet-mode flags.

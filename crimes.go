@@ -65,6 +65,10 @@ type (
 	// (direct, per-epoch mappings, or a persistent mapping cache with
 	// incremental walks).
 	ScanCacheMode = core.ScanCacheMode
+	// RemusMode selects the replication conduit's wire protocol (raw
+	// full-page copies, XOR-delta encoding, or delta plus content-hash
+	// deduplication).
+	RemusMode = core.RemusMode
 	// Recovery reports the retries, degradations, and unwind path an
 	// epoch needed (zero value: no recovery at all).
 	Recovery = core.Recovery
@@ -125,6 +129,17 @@ const (
 
 // ParseScanCacheMode parses "off", "uncached", or "on" (flag values).
 var ParseScanCacheMode = core.ParseScanCacheMode
+
+// Replication wire-protocol modes (Config.Remus). Raw is the default
+// and reproduces the full-page conduit protocol exactly.
+const (
+	RemusRaw        = core.RemusRaw
+	RemusDelta      = core.RemusDelta
+	RemusDeltaDedup = core.RemusDeltaDedup
+)
+
+// ParseRemusMode parses "raw", "delta", or "delta+dedup" (flag values).
+var ParseRemusMode = core.ParseRemusMode
 
 // Checkpointing optimization levels (§4.1).
 const (

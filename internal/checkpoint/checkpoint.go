@@ -57,6 +57,12 @@ type Checkpointer struct {
 	backup  *hv.Domain
 	opt     cost.Optimization
 
+	// remusMode selects the conduits' wire protocol (raw v1 by
+	// default); remusBudget bounds the sender-side shipped-version
+	// table in the delta modes.
+	remusMode   remus.Mode
+	remusBudget int
+
 	// workers is the pause-path parallelism: the dirty-bitmap scan,
 	// undo capture, and page copy shard across this many goroutines
 	// over disjoint PFN ranges, the disk-block copy overlaps the memory
@@ -246,22 +252,45 @@ func New(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization) (*Checkpoi
 // pipelined out of the pause window. workers <= 1 is the exact serial
 // path, byte-for-byte and fault-for-fault identical to New's.
 func NewWithWorkers(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization, workers int) (*Checkpointer, error) {
-	if workers < 1 {
-		workers = 1
+	return NewWithParams(h, primary, Params{Opt: opt, Workers: workers})
+}
+
+// Params configures a checkpointer beyond the optimization level.
+type Params struct {
+	// Opt is the paper's optimization level.
+	Opt cost.Optimization
+	// Workers is the pause-path parallelism; <= 1 is the serial path.
+	Workers int
+	// Remus selects the replication conduits' wire protocol. The zero
+	// value (remus.ModeRaw) is the v1 seed path, bit-for-bit.
+	Remus remus.Mode
+	// RemusBudgetPages bounds the delta modes' sender-side
+	// shipped-version table; <= 0 is unbounded.
+	RemusBudgetPages int
+}
+
+// NewWithParams is the fully parameterized constructor: optimization
+// level, pause-path parallelism, and the replication wire protocol.
+func NewWithParams(h *hv.Hypervisor, primary *hv.Domain, p Params) (*Checkpointer, error) {
+	if p.Workers < 1 {
+		p.Workers = 1
 	}
 	backup, err := h.CreateDomain(primary.Name()+"-backup", primary.Pages())
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create backup: %w", err)
 	}
 	c := &Checkpointer{
-		hv:      h,
-		primary: primary,
-		backup:  backup,
-		opt:     opt,
-		workers: workers,
-		dirty:   mem.NewBitmap(primary.Pages()),
-		scratch: make([]mem.PFN, 0, primary.Pages()),
+		hv:          h,
+		primary:     primary,
+		backup:      backup,
+		opt:         p.Opt,
+		remusMode:   p.Remus,
+		remusBudget: p.RemusBudgetPages,
+		workers:     p.Workers,
+		dirty:       mem.NewBitmap(primary.Pages()),
+		scratch:     make([]mem.PFN, 0, primary.Pages()),
 	}
+	opt := p.Opt
 	// Any failure below must release everything acquired so far — in
 	// particular the backup domain, whose machine frames would otherwise
 	// leak with no handle left to destroy them.
@@ -288,7 +317,7 @@ func NewWithWorkers(h *hv.Hypervisor, primary *hv.Domain, opt cost.Optimization,
 	}
 	if opt == cost.NoOpt {
 		key := []byte("crimes-remus-key")
-		if c.conduit, err = remus.NewConduit(h, backup, key); err != nil {
+		if c.conduit, err = remus.NewConduitMode(h, backup, key, c.remusMode, c.remusBudget); err != nil {
 			return fail(err)
 		}
 	}
@@ -340,7 +369,7 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: create remote backup: %w", err)
 	}
-	conduit, err := remus.NewConduit(c.hv, remote, key)
+	conduit, err := remus.NewConduitMode(c.hv, remote, key, c.remusMode, c.remusBudget)
 	if err != nil {
 		// The remote domain must not leak when the conduit to it cannot
 		// be established.
@@ -495,7 +524,49 @@ func (c *Checkpointer) CheckpointBitmap(dirty *mem.Bitmap) (cost.Counts, error) 
 	return c.checkpointDirty()
 }
 
+// checkpointDirty commits the harvested dirty set. In the delta wire
+// modes it brackets the commit with conduit-stats snapshots so the
+// returned counts carry this epoch's replication traffic; raw mode adds
+// no bookkeeping to the seed path. Pipelined remote shipments that
+// complete after the commit returns are picked up by a later epoch's
+// delta (the cumulative totals stay exact).
 func (c *Checkpointer) checkpointDirty() (cost.Counts, error) {
+	if c.remusMode == remus.ModeRaw {
+		return c.commitDirty()
+	}
+	// Hold the conduit pointers: a mid-commit degradation nils
+	// c.remoteConduit, but the traffic it carried this epoch still
+	// counts (Stats stays readable on a closed conduit).
+	local, remote := c.conduit, c.remoteConduit
+	localBase := local.Stats()
+	remoteBase := remote.Stats()
+	counts, err := c.commitDirty()
+	if err != nil {
+		return counts, err
+	}
+	counts.LocalRepl = replCounts(local.Stats().Sub(localBase))
+	counts.RemoteRepl = replCounts(remote.Stats().Sub(remoteBase))
+	return counts, nil
+}
+
+// replCounts converts conduit stream accounting into the cost model's
+// replication counts.
+func replCounts(s remus.StreamStats) cost.ReplicationCounts {
+	return cost.ReplicationCounts{
+		Batches:      s.Batches,
+		Pages:        s.Pages,
+		RawPages:     s.RawPages,
+		DeltaPages:   s.DeltaPages,
+		SamePages:    s.SamePages,
+		DupPages:     s.DupPages,
+		ZeroPages:    s.ZeroPages,
+		EncodedPages: s.EncodedPages,
+		WireBytes:    s.WireBytes,
+		RawBytes:     s.RawBytes,
+	}
+}
+
+func (c *Checkpointer) commitDirty() (cost.Counts, error) {
 	c.report = CommitReport{Timings: PhaseTimings{Workers: c.workers}}
 	if c.obsr != nil {
 		defer c.observeCommit()

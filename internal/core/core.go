@@ -28,6 +28,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netbuf"
 	"repro/internal/obs"
+	"repro/internal/remus"
 	"repro/internal/vdisk"
 	"repro/internal/vmi"
 	"repro/internal/volatility"
@@ -121,6 +122,67 @@ func ParseScanCacheMode(s string) (ScanCacheMode, error) {
 	}
 }
 
+// RemusMode selects the replication conduit's wire protocol.
+type RemusMode int
+
+// Replication wire-protocol modes. The zero value is RemusRaw, so
+// existing configurations are untouched: the conduit ships every dirty
+// page as a full encrypted copy, exactly as before, and every priced
+// number is bit-identical to previous releases (mirroring how
+// ScanCacheOff preserves the direct-read audit).
+const (
+	// RemusRaw ships full 4 KiB pages — today's v1 wire protocol,
+	// byte-for-byte.
+	RemusRaw RemusMode = iota
+	// RemusDelta keeps a bounded shipped-version table on the sender and
+	// emits XOR-delta records against the last-shipped copy of each
+	// page, falling back to raw when a page has no table entry or the
+	// delta does not compress.
+	RemusDelta
+	// RemusDeltaDedup adds content-hash deduplication on top of delta
+	// encoding: unchanged pages, all-zero pages, and cross-page
+	// duplicates ship as constant-size references.
+	RemusDeltaDedup
+)
+
+// String renders the replication mode.
+func (m RemusMode) String() string {
+	switch m {
+	case RemusDelta:
+		return "delta"
+	case RemusDeltaDedup:
+		return "delta+dedup"
+	default:
+		return "raw"
+	}
+}
+
+// ParseRemusMode parses "raw", "delta", or "delta+dedup".
+func ParseRemusMode(s string) (RemusMode, error) {
+	switch s {
+	case "raw", "":
+		return RemusRaw, nil
+	case "delta":
+		return RemusDelta, nil
+	case "delta+dedup", "dedup":
+		return RemusDeltaDedup, nil
+	default:
+		return 0, fmt.Errorf("core: unknown remus mode %q (want raw|delta|delta+dedup)", s)
+	}
+}
+
+// wire maps the config-level mode onto the conduit's wire protocol.
+func (m RemusMode) wire() remus.Mode {
+	switch m {
+	case RemusDelta:
+		return remus.ModeDelta
+	case RemusDeltaDedup:
+		return remus.ModeDeltaDedup
+	default:
+		return remus.ModeRaw
+	}
+}
+
 // Config configures a CRIMES controller.
 type Config struct {
 	// EpochInterval is the speculative execution window (10 ms to a few
@@ -190,6 +252,18 @@ type Config struct {
 	// synchronous audit (Scan == ScanSync). The zero value (off) keeps
 	// the eager commit path bit-for-bit identical to previous releases.
 	CoW bool
+	// Remus selects the replication conduit's wire protocol: RemusRaw
+	// (the default — full encrypted page copies, bit-identical to
+	// previous releases), RemusDelta (XOR-delta encoding against a
+	// sender-side shipped-version table), or RemusDeltaDedup (delta
+	// encoding plus content-hash deduplication of unchanged, zero, and
+	// duplicate pages). Both local checkpoint shipping and remote
+	// replication use the selected protocol.
+	Remus RemusMode
+	// RemusBudgetPages bounds the sender's shipped-version table, in
+	// pages; 0 (or negative) keeps a full copy of every shipped page.
+	// A fleet divides its host-side memory budget across VMs with this.
+	RemusBudgetPages int
 	// PauseGate, when non-nil, is acquired immediately before the
 	// domain pauses at the epoch boundary and released when RunEpoch
 	// returns — by which point the domain has resumed, unwound, or been
@@ -279,6 +353,11 @@ type Controller struct {
 	cowPrevArmed int
 	cowStats     cost.CoWCounts
 
+	// Delta-replication accounting (zero / unused when cfg.Remus is
+	// RemusRaw): the cumulative wire-protocol counters across local and
+	// remote conduits, for fleet roll-ups.
+	replStats cost.ReplicationCounts
+
 	epoch      int
 	virtualNow time.Duration
 	setupTime  time.Duration
@@ -315,6 +394,11 @@ type coreMetrics struct {
 	// CoW series; registered only when CoW checkpointing is enabled so
 	// CoW-off metric dumps are unchanged.
 	cowArmed, cowFaults, cowDrained *obs.Counter
+
+	// Delta-replication series; registered only when the v2 wire
+	// protocol is enabled so raw-mode metric dumps are unchanged.
+	remusWire, remusRaw                                            *obs.Counter
+	remusOpRaw, remusOpDelta, remusOpSame, remusOpDup, remusOpZero *obs.Counter
 }
 
 // New creates a controller: it initializes introspection (init +
@@ -369,7 +453,12 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 	c.buf = netbuf.New(cfg.Safety, cfg.Deliverer)
 	g.SetOutputSink(c.buf)
 
-	if c.ckpt, err = checkpoint.NewWithWorkers(h, c.dom, cfg.Opt, cfg.Workers); err != nil {
+	if c.ckpt, err = checkpoint.NewWithParams(h, c.dom, checkpoint.Params{
+		Opt:              cfg.Opt,
+		Workers:          cfg.Workers,
+		Remus:            cfg.Remus.wire(),
+		RemusBudgetPages: cfg.RemusBudgetPages,
+	}); err != nil {
 		return nil, err
 	}
 	if cfg.DiskBlocks > 0 {
@@ -429,6 +518,15 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 			c.met.cowArmed = reg.Counter("crimes_cow_total", "vm", vm, "op", "armed")
 			c.met.cowFaults = reg.Counter("crimes_cow_total", "vm", vm, "op", "write_fault")
 			c.met.cowDrained = reg.Counter("crimes_cow_total", "vm", vm, "op", "drained")
+		}
+		if cfg.Remus != RemusRaw {
+			c.met.remusWire = reg.Counter("crimes_remus_bytes_total", "vm", vm, "kind", "wire")
+			c.met.remusRaw = reg.Counter("crimes_remus_bytes_total", "vm", vm, "kind", "raw")
+			c.met.remusOpRaw = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "raw")
+			c.met.remusOpDelta = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "delta")
+			c.met.remusOpSame = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "same")
+			c.met.remusOpDup = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "dup")
+			c.met.remusOpZero = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "zero")
 		}
 		c.ckpt.SetObserver(cfg.Obs, vm)
 	}
@@ -550,6 +648,18 @@ func (c *Controller) recordCoW(d cost.CoWCounts) {
 	c.met.cowDrained.Add(int64(d.DrainPages))
 }
 
+// recordReplication folds an epoch's delta-replication counters into
+// the per-VM metric counters.
+func (c *Controller) recordReplication(d cost.ReplicationCounts) {
+	c.met.remusWire.Add(d.WireBytes)
+	c.met.remusRaw.Add(d.RawBytes)
+	c.met.remusOpRaw.Add(int64(d.RawPages))
+	c.met.remusOpDelta.Add(int64(d.DeltaPages))
+	c.met.remusOpSame.Add(int64(d.SamePages))
+	c.met.remusOpDup.Add(int64(d.DupPages))
+	c.met.remusOpZero.Add(int64(d.ZeroPages))
+}
+
 // recordEpochMetrics rolls one completed RunEpoch (clean or not) into
 // the per-VM metric series.
 func (c *Controller) recordEpochMetrics(res *EpochResult, err error) {
@@ -603,6 +713,12 @@ func (c *Controller) ScanCacheTotals() cost.ScanCacheCounts { return c.scanStats
 // rolls these up per VM.
 func (c *Controller) CoWTotals() cost.CoWCounts { return c.cowStats }
 
+// ReplicationTotals returns the cumulative delta-replication wire
+// counters across all epochs and both conduits, local and remote (all
+// zero when the raw protocol is in use). Fleet reporting rolls these up
+// per VM.
+func (c *Controller) ReplicationTotals() cost.ReplicationCounts { return c.replStats }
+
 // ScanCacheLive reports the page-mapping cache's current size and
 // capacity in pages (0, 0 when the scan cache is disabled).
 func (c *Controller) ScanCacheLive() (used, capacity int) {
@@ -648,6 +764,11 @@ type EpochResult struct {
 	// this commit, write faults taken during the epoch, previously
 	// armed pages drained lazily); zero when CoW is disabled.
 	CoW cost.CoWCounts
+	// Replication is the epoch's delta-replication wire activity across
+	// the local and remote conduits (wire bytes shipped vs. the raw-
+	// protocol equivalent, plus the per-opcode page mix); zero when the
+	// raw protocol is in use.
+	Replication cost.ReplicationCounts
 }
 
 // Unwind paths a failing epoch can take; see Recovery.Unwind.
@@ -943,6 +1064,11 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		c.cowPrevArmed = res.CoW.ArmedPages
 		c.cowStats.Add(res.CoW)
 	}
+	if c.cfg.Remus != RemusRaw {
+		res.Replication = counts.LocalRepl
+		res.Replication.Add(counts.RemoteRepl)
+		c.replStats.Add(res.Replication)
+	}
 	if c.obs != nil {
 		delta := hypercallDelta(hcBefore, c.domainCalls())
 		c.recordHypercalls(delta)
@@ -953,6 +1079,17 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			if res.CoW != (cost.CoWCounts{}) {
 				ev.CoW = &obs.CoW{Armed: res.CoW.ArmedPages,
 					WriteFaults: res.CoW.WriteFaults, Drained: res.CoW.DrainPages}
+			}
+		}
+		if c.cfg.Remus != RemusRaw {
+			c.recordReplication(res.Replication)
+			if res.Replication != (cost.ReplicationCounts{}) {
+				ev.Repl = &obs.Replication{
+					WireBytes: res.Replication.WireBytes, RawBytes: res.Replication.RawBytes,
+					Raw: res.Replication.RawPages, Delta: res.Replication.DeltaPages,
+					Same: res.Replication.SamePages, Dup: res.Replication.DupPages,
+					Zero: res.Replication.ZeroPages,
+				}
 			}
 		}
 		c.emit(ev)

@@ -90,6 +90,16 @@ type Model struct {
 	CowArmPageNs float64
 	CowFaultNs   float64
 
+	// Delta replication (v2 wire protocol). Every page carried by a
+	// delta-mode conduit is content-hashed (DeltaHashPageNs) and, when a
+	// last-shipped base exists, run through the XOR/run-length encoder
+	// (DeltaEncodeByteNs per page byte). The CPU spent is charged
+	// against the socket bytes saved, so the tradeoff is visible in
+	// virtual time. Neither constant is consulted in raw mode, so the
+	// raw configuration reproduces existing numbers bit-for-bit.
+	DeltaHashPageNs   float64
+	DeltaEncodeByteNs float64
+
 	// Parallel pause path. Sharded copy/scan workers obey Amdahl's law:
 	// WorkerSerialFrac is the fraction of each parallelized phase that
 	// stays serial (shard dispatch, cache-line and memory-bus
@@ -142,6 +152,9 @@ func Default() Model {
 		CowArmPageNs: 120,
 		CowFaultNs:   8.0e3,
 
+		DeltaHashPageNs:   400,
+		DeltaEncodeByteNs: 0.5,
+
 		WorkerSerialFrac: 0.05,
 		WorkerSpawnNs:    2.0e4,
 	}
@@ -189,6 +202,67 @@ type Counts struct {
 	Canaries    int // canaries validated by the audit
 	DiskBlocks  int // dirty disk blocks replicated (disk extension)
 	RemotePages int // pages also shipped to a remote backup (HA extension)
+
+	// LocalRepl and RemoteRepl carry the v2 replication wire protocol's
+	// per-epoch traffic for the local conduit and the remote HA conduit
+	// respectively. Both stay zero in raw mode, in which case the
+	// classic socket pricing above applies unchanged.
+	LocalRepl  ReplicationCounts
+	RemoteRepl ReplicationCounts
+}
+
+// ReplicationCounts are the real wire-protocol counts one epoch's
+// delta-mode replication produced (mirroring remus.StreamStats, carried
+// here so pricing needs no dependency on the wire package).
+type ReplicationCounts struct {
+	Batches      int   // checkpoint batches sent
+	Pages        int   // pages carried (each one content-hashed)
+	RawPages     int   // full raw records
+	DeltaPages   int   // XOR-delta records
+	SamePages    int   // unchanged-page references
+	DupPages     int   // cross-page duplicate references
+	ZeroPages    int   // zero-page references
+	EncodedPages int   // pages run through the XOR encoder (deltas + raw fallbacks)
+	WireBytes    int64 // bytes actually on the wire
+	RawBytes     int64 // bytes the v1 raw protocol would have shipped
+}
+
+// Add accumulates another counter set into r.
+func (r *ReplicationCounts) Add(o ReplicationCounts) {
+	r.Batches += o.Batches
+	r.Pages += o.Pages
+	r.RawPages += o.RawPages
+	r.DeltaPages += o.DeltaPages
+	r.SamePages += o.SamePages
+	r.DupPages += o.DupPages
+	r.ZeroPages += o.ZeroPages
+	r.EncodedPages += o.EncodedPages
+	r.WireBytes += o.WireBytes
+	r.RawBytes += o.RawBytes
+}
+
+// Reduction is the fraction of raw bytes the wire protocol saved
+// (0 when nothing was shipped).
+func (r ReplicationCounts) Reduction() float64 {
+	if r.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.WireBytes)/float64(r.RawBytes)
+}
+
+// ReplicateDelta prices one epoch's delta-mode replication: the socket
+// path over the bytes actually on the wire (same saturating formula as
+// the raw path) plus the protocol's CPU — a content hash per carried
+// page and the XOR encoder over every page that had a base. Small-write
+// workloads trade a few hundred ns/page of hashing for thousands of
+// ns/page of socket and encryption time.
+func (m Model) ReplicateDelta(r ReplicationCounts) time.Duration {
+	bytes := float64(r.WireBytes)
+	factor := 1 + bytes/m.SocketSatBytes
+	return ns(m.SocketEpochNs*float64(r.Batches) +
+		m.SocketByteNs*bytes*factor +
+		m.DeltaHashPageNs*float64(r.Pages) +
+		m.DeltaEncodeByteNs*4096*float64(r.EncodedPages))
 }
 
 // Phases is the virtual-time breakdown of one checkpoint's paused
@@ -236,19 +310,35 @@ func (m Model) Checkpoint(opt Optimization, c Counts) Phases {
 		p.Map = ns(perPage*float64(c.DirtyPages) + m.DirtyHarvestCallNs)
 	}
 
-	if opt >= Memcpy {
+	switch {
+	case opt >= Memcpy:
 		p.Copy = ns(m.MemcpyByteNs * float64(c.BytesCopied))
-	} else {
+	case c.LocalRepl.Batches > 0:
+		// Delta-mode socket path: priced by the bytes actually shipped
+		// plus the hash/encode CPU. Disk bytes still travel raw (the
+		// conduit only carries memory pages), so any byte count beyond
+		// the dirty pages keeps the classic socket cost.
+		p.Copy = m.ReplicateDelta(c.LocalRepl)
+		if extra := c.BytesCopied - c.DirtyPages*4096; extra > 0 {
+			b := float64(extra)
+			p.Copy += ns(m.SocketByteNs * b * (1 + b/m.SocketSatBytes))
+		}
+	default:
 		bytes := float64(c.BytesCopied)
 		factor := 1 + bytes/m.SocketSatBytes
 		p.Copy = ns(m.SocketEpochNs + m.SocketByteNs*bytes*factor)
 	}
 	if c.RemotePages > 0 {
-		// Remote HA replication always pays the socket path, whatever
-		// the local optimization level.
-		bytes := float64(c.RemotePages) * 4096
-		factor := 1 + bytes/m.SocketSatBytes
-		p.Copy += ns(m.SocketEpochNs + m.SocketByteNs*bytes*factor)
+		if c.RemoteRepl.Batches > 0 {
+			// Delta-mode remote ship: pay for the wire bytes it used.
+			p.Copy += m.ReplicateDelta(c.RemoteRepl)
+		} else {
+			// Remote HA replication always pays the socket path, whatever
+			// the local optimization level.
+			bytes := float64(c.RemotePages) * 4096
+			factor := 1 + bytes/m.SocketSatBytes
+			p.Copy += ns(m.SocketEpochNs + m.SocketByteNs*bytes*factor)
+		}
 	}
 	return p
 }

@@ -61,6 +61,7 @@ func All() []struct {
 		{"fleet", FleetScaling},
 		{"scan", ScanCacheComparison},
 		{"cow", CoWComparison},
+		{"delta", DeltaWireComparison},
 	}
 }
 

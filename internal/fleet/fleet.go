@@ -128,6 +128,10 @@ type Stats struct {
 	// CoW is the VM's cumulative copy-on-write commit activity. All
 	// zero when CoW checkpointing is off.
 	CoW cost.CoWCounts
+	// Replication is the VM's cumulative delta-replication wire
+	// activity across its local and remote conduits. All zero when the
+	// raw wire protocol is in use.
+	Replication cost.ReplicationCounts
 	// Err records the error that stopped the VM's loop, if any.
 	Err string
 }
@@ -301,6 +305,7 @@ func (vm *VM) Stats() Stats {
 	s.ScanCache = vm.Controller.ScanCacheTotals()
 	s.ScanCachePages, s.ScanCacheCapacity = vm.Controller.ScanCacheLive()
 	s.CoW = vm.Controller.CoWTotals()
+	s.Replication = vm.Controller.ReplicationTotals()
 	return s
 }
 
@@ -333,6 +338,9 @@ type Report struct {
 	// CoW aggregates every VM's copy-on-write commit counters; zero
 	// when CoW checkpointing is off.
 	CoW cost.CoWCounts
+	// Replication aggregates every VM's delta-replication wire
+	// counters; zero when the raw wire protocol is in use.
+	Replication cost.ReplicationCounts
 }
 
 // Report snapshots the fleet's current accounting.
@@ -359,6 +367,7 @@ func (f *Fleet) Report() *Report {
 		r.ScanCache.Add(s.ScanCache)
 		r.ScanCachePages += s.ScanCachePages
 		r.CoW.Add(s.CoW)
+		r.Replication.Add(s.Replication)
 	}
 	if f.cfg.Core.Obs.Enabled() {
 		reg := f.cfg.Core.Obs.Registry()
@@ -415,6 +424,13 @@ func (r *Report) Render() string {
 	if r.CoW != (cost.CoWCounts{}) {
 		fmt.Fprintf(&b, "cow: armed=%d write_faults=%d drained=%d\n",
 			r.CoW.ArmedPages, r.CoW.WriteFaults, r.CoW.DrainPages)
+	}
+	// And the replication line: absent unless the v2 conduit shipped.
+	if r.Replication != (cost.ReplicationCounts{}) {
+		rp := r.Replication
+		fmt.Fprintf(&b, "replication: wire=%d raw=%d (%.1f%% cut) pages raw=%d delta=%d same=%d dup=%d zero=%d\n",
+			rp.WireBytes, rp.RawBytes, 100*rp.Reduction(),
+			rp.RawPages, rp.DeltaPages, rp.SamePages, rp.DupPages, rp.ZeroPages)
 	}
 	return b.String()
 }

@@ -81,6 +81,20 @@ type CoW struct {
 	Drained     int `json:"drained,omitempty"`
 }
 
+// Replication is a per-event delta-replication delta: wire bytes shipped
+// by the v2 conduit protocol this epoch against the raw-protocol bytes
+// the same pages would have cost, plus the per-opcode page mix. Plain
+// ints keep this package dependency-free, mirroring Hypercalls.
+type Replication struct {
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	RawBytes  int64 `json:"raw_bytes,omitempty"`
+	Raw       int   `json:"raw,omitempty"`
+	Delta     int   `json:"delta,omitempty"`
+	Same      int   `json:"same,omitempty"`
+	Dup       int   `json:"dup,omitempty"`
+	Zero      int   `json:"zero,omitempty"`
+}
+
 // Event is one trace record: a single phase of a single VM's epoch.
 // Virtual durations (run, rollback) are deterministic cost-model time;
 // DurNs on commit is the measured wall-clock commit time.
@@ -127,6 +141,9 @@ type Event struct {
 	// CoW is the epoch's copy-on-write commit delta, attached to the
 	// commit event when CoW checkpointing is enabled.
 	CoW *CoW `json:"cow,omitempty"`
+	// Repl is the epoch's delta-replication delta, attached to the
+	// commit event when the v2 conduit protocol is enabled.
+	Repl *Replication `json:"repl,omitempty"`
 }
 
 // Sink receives trace events. Implementations must be safe for

@@ -50,13 +50,24 @@ type Conduit struct {
 	enc     cipher.Stream
 	sendBuf []byte
 
-	// mu guards the send side (conn, enc, sendBuf, closed); ackMu
-	// serializes ack reads. They are separate so a sender never holds
-	// the conduit lock across the backup's ack round trip: one caller
-	// can encrypt and transmit the next batch while another still waits
-	// for the previous batch's acknowledgement.
+	// v2 wire protocol state (ModeDelta/ModeDeltaDedup): the
+	// shipped-version table, a delta-encoding scratch buffer, and the
+	// cumulative wire accounting. All nil/zero in ModeRaw.
+	mode     Mode
+	table    *versionTable
+	deltaBuf []byte
+	stats    StreamStats
+
+	// mu guards the send side (conn, enc, sendBuf, table, stats,
+	// closed); ackMu serializes ack reads. They are separate so a
+	// sender never holds the conduit lock across the backup's ack round
+	// trip: one caller can encrypt and transmit the next batch while
+	// another still waits for the previous batch's acknowledgement.
+	// restMu guards restErr, which the restore goroutine writes while
+	// senders and ack waiters read it.
 	mu      sync.Mutex
 	ackMu   sync.Mutex
+	restMu  sync.Mutex
 	closed  bool
 	done    chan struct{}
 	restErr error
@@ -80,8 +91,18 @@ func (c *Conduit) SetObserver(o *obs.Observer, vm string) {
 }
 
 // NewConduit starts a restore process for the backup domain and returns
-// the primary-side channel. key must be 16, 24 or 32 bytes (AES).
+// the primary-side channel, speaking the v1 raw wire protocol. key must
+// be 16, 24 or 32 bytes (AES).
 func NewConduit(h *hv.Hypervisor, backup *hv.Domain, key []byte) (*Conduit, error) {
+	return NewConduitMode(h, backup, key, ModeRaw, 0)
+}
+
+// NewConduitMode is NewConduit with an explicit wire protocol.
+// budgetPages bounds the sender's shipped-version table in
+// ModeDelta/ModeDeltaDedup (<= 0 is unbounded); pages evicted from the
+// table lose their delta/dedup base and ship raw on their next change.
+// ModeRaw ignores the budget and is byte-for-byte the v1 channel.
+func NewConduitMode(h *hv.Hypervisor, backup *hv.Domain, key []byte, mode Mode, budgetPages int) (*Conduit, error) {
 	if err := h.Faults().Check(FaultConduitNew); err != nil {
 		return nil, fmt.Errorf("remus: connect: %w", err)
 	}
@@ -103,9 +124,16 @@ func NewConduit(h *hv.Hypervisor, backup *hv.Domain, key []byte) (*Conduit, erro
 		conn:    primarySide,
 		ackConn: ackPrimary,
 		enc:     cipher.NewCTR(encBlock, iv),
+		mode:    mode,
 		done:    make(chan struct{}),
 	}
-	go c.restore(restoreSide, ackRestore, cipher.NewCTR(decBlock, iv))
+	dec := cipher.NewCTR(decBlock, iv)
+	if mode == ModeRaw {
+		go c.restore(restoreSide, ackRestore, dec)
+	} else {
+		c.table = newVersionTable(budgetPages)
+		go c.restoreV2(restoreSide, ackRestore, dec)
+	}
 	return c, nil
 }
 
@@ -134,6 +162,16 @@ func (c *Conduit) Send(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error
 	if err := c.hv.Faults().Check(FaultSend); err != nil {
 		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}
+	if c.mode == ModeRaw {
+		return c.sendRaw(pfns, page)
+	}
+	return c.sendV2(pfns, page)
+}
+
+// sendRaw serializes one batch in the v1 wire format under c.mu: the
+// 4-byte count header followed by a full 8-byte PFN + raw page record
+// per dirty page.
+func (c *Conduit) sendRaw(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error {
 	// writev-style: gather the whole batch into one buffer, encrypt,
 	// and write it in a single call.
 	need := 4 + len(pfns)*(8+mem.PageSize)
@@ -158,7 +196,28 @@ func (c *Conduit) Send(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) error
 		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}
 	c.sentBytes.Add(int64(len(buf)))
+	c.trimSendBuf(need)
 	return nil
+}
+
+// sendBufFloor is the batch-buffer capacity below which trimming is
+// never worth the reallocation churn.
+const sendBufFloor = 64 << 10
+
+// trimSendBuf releases the batch buffer's excess capacity after a send:
+// without it, one large epoch (the initial full sync is the worst case)
+// pins a maximum-sized buffer for the conduit's lifetime. Capacity
+// within 4x of the just-sent batch is kept so steady-state traffic
+// never reallocates.
+func (c *Conduit) trimSendBuf(used int) {
+	if cap(c.sendBuf) <= sendBufFloor || cap(c.sendBuf) <= 4*used {
+		return
+	}
+	next := 2 * used
+	if next < sendBufFloor {
+		next = sendBufFloor
+	}
+	c.sendBuf = make([]byte, 0, next)
 }
 
 // AwaitAck blocks until the restore process acknowledges the oldest
@@ -173,6 +232,12 @@ func (c *Conduit) AwaitAck() error {
 	}
 	var ack [1]byte
 	if _, err := io.ReadFull(c.ackConn, ack[:]); err != nil {
+		// A dead restore goroutine closes its pipe ends, so the read
+		// error here is just "pipe closed" — the recorded terminal error
+		// (a failed backup write, a malformed record) is the real cause.
+		if rerr := c.restoreErr(); rerr != nil && !errors.Is(rerr, io.EOF) && !errors.Is(rerr, io.ErrClosedPipe) {
+			return fmt.Errorf("remus: await ack: restore failed: %w", rerr)
+		}
 		return fmt.Errorf("remus: await ack: %w", err)
 	}
 	if ack[0] != ackByte {
@@ -192,7 +257,7 @@ func (c *Conduit) restore(conn, ackConn net.Conn, dec cipher.Stream) {
 	rec := make([]byte, 8+mem.PageSize)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			c.restErr = err
+			c.failRestore(conn, ackConn, err)
 			return
 		}
 		dec.XORKeyStream(hdr, hdr)
@@ -200,7 +265,7 @@ func (c *Conduit) restore(conn, ackConn net.Conn, dec cipher.Stream) {
 		fail := error(nil)
 		for i := uint32(0); i < count; i++ {
 			if _, err := io.ReadFull(conn, rec); err != nil {
-				c.restErr = err
+				c.failRestore(conn, ackConn, err)
 				return
 			}
 			dec.XORKeyStream(rec, rec)
@@ -214,14 +279,37 @@ func (c *Conduit) restore(conn, ackConn net.Conn, dec cipher.Stream) {
 			}
 		}
 		if fail != nil {
-			c.restErr = fail
+			c.failRestore(conn, ackConn, fail)
 			return
 		}
 		if _, err := ackConn.Write([]byte{ackByte}); err != nil {
-			c.restErr = err
+			c.failRestore(conn, ackConn, err)
 			return
 		}
 	}
+}
+
+// failRestore records the restore side's terminal error and tears down
+// its pipe ends. Closing the pipes matters: a primary blocked in Send
+// or AwaitAck would otherwise hang forever on a half-dead conduit, and
+// once unblocked it can surface the recorded cause instead of a bare
+// pipe error.
+func (c *Conduit) failRestore(conn, ackConn net.Conn, err error) {
+	c.restMu.Lock()
+	if c.restErr == nil {
+		c.restErr = err
+	}
+	c.restMu.Unlock()
+	_ = conn.Close()
+	_ = ackConn.Close()
+}
+
+// restoreErr returns the restore goroutine's recorded terminal error,
+// if any.
+func (c *Conduit) restoreErr() error {
+	c.restMu.Lock()
+	defer c.restMu.Unlock()
+	return c.restErr
 }
 
 // Close shuts down the conduit and waits for the restore process.
@@ -236,8 +324,8 @@ func (c *Conduit) Close() error {
 	_ = c.conn.Close()
 	_ = c.ackConn.Close()
 	<-c.done
-	if c.restErr != nil && !errors.Is(c.restErr, io.EOF) && !errors.Is(c.restErr, io.ErrClosedPipe) {
-		return fmt.Errorf("remus: restore: %w", c.restErr)
+	if err := c.restoreErr(); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
+		return fmt.Errorf("remus: restore: %w", err)
 	}
 	return nil
 }
