@@ -1,13 +1,13 @@
 GO ?= go
 
 .PHONY: build test verify verify-quick bench pause-json bench-fleet \
-	bench-scan bench-cow bench-remus fmt-check ci bench-drift
+	bench-scan bench-cow bench-remus bench-cluster fmt-check ci bench-drift
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Full verification: static analysis plus the race detector over the
 # whole tree (the parallel pause path runs real worker pools).
@@ -24,13 +24,15 @@ verify: build
 # eagerly and once with the CoW commit's background copier and write
 # faults live.
 verify-quick:
-	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core ./internal/hv ./internal/fleet ./internal/obs
+	$(GO) test -race ./internal/checkpoint ./internal/detect ./internal/core ./internal/hv ./internal/fleet ./internal/cluster ./internal/obs
 	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 \
 		-trace /tmp/crimes-verify-trace.jsonl -metrics /tmp/crimes-verify-metrics.txt >/dev/null
 	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 -cow \
 		-trace /tmp/crimes-verify-trace-cow.jsonl -metrics /tmp/crimes-verify-metrics-cow.txt >/dev/null
 	$(GO) run -race ./cmd/crimes -vms 3 -stagger -epochs 2 -remus delta+dedup -opt noopt \
 		-trace /tmp/crimes-verify-trace-delta.jsonl -metrics /tmp/crimes-verify-metrics-delta.txt >/dev/null
+	$(GO) run -race ./cmd/crimes -hosts 3 -vms 6 -epochs 4 -host-kill host1:3 \
+		-trace /tmp/crimes-verify-trace-cluster.jsonl -metrics /tmp/crimes-verify-metrics-cluster.txt >/dev/null
 
 # gofmt gate: fail listing any file that is not gofmt-clean.
 fmt-check:
@@ -41,13 +43,13 @@ fmt-check:
 # deterministic cost model, so regenerating them must be a no-op. Any
 # diff means a change altered the priced pause path (or the artifacts
 # were not regenerated) and must be committed deliberately.
-bench-drift: pause-json bench-fleet bench-scan bench-cow bench-remus
-	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json BENCH_cow.json BENCH_remus.json
+bench-drift: pause-json bench-fleet bench-scan bench-cow bench-remus bench-cluster
+	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json BENCH_cow.json BENCH_remus.json BENCH_cluster.json
 
 # Everything the CI workflow runs, in the same order, for local use.
 ci: fmt-check build
 	$(GO) vet ./...
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-drift
 
@@ -82,3 +84,11 @@ bench-cow:
 # seed, so it too is byte-stable.
 bench-remus:
 	$(GO) run ./cmd/crimes-bench -remus-json BENCH_remus.json
+
+# Regenerate the machine-readable multi-host cluster benchmark: the
+# scale and ring sections are priced by the deterministic cost model
+# and hash ring, and the failover section drives the real control
+# plane (kill vs no-kill arms) with Workers=1 and a fixed seed, so the
+# output is byte-stable.
+bench-cluster:
+	$(GO) run ./cmd/crimes-bench -cluster-json BENCH_cluster.json

@@ -25,14 +25,15 @@ func main() {
 
 func run() error {
 	var (
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		exp       = flag.String("exp", "", "run a single experiment by ID")
-		csvDir    = flag.String("csv", "", "also write <id>.csv files for plottable figures into this directory")
-		pauseJSON = flag.String("pause-json", "", "write the parallel pause-path benchmark as JSON to this path and exit")
-		fleetJSON = flag.String("fleet-json", "", "write the fleet-scheduling benchmark as JSON to this path and exit")
-		scanJSON  = flag.String("scan-json", "", "write the scan-path cache benchmark as JSON to this path and exit")
-		cowJSON   = flag.String("cow-json", "", "write the CoW commit benchmark as JSON to this path and exit")
-		remusJSON = flag.String("remus-json", "", "write the delta-replication benchmark as JSON to this path and exit")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		exp         = flag.String("exp", "", "run a single experiment by ID")
+		csvDir      = flag.String("csv", "", "also write <id>.csv files for plottable figures into this directory")
+		pauseJSON   = flag.String("pause-json", "", "write the parallel pause-path benchmark as JSON to this path and exit")
+		fleetJSON   = flag.String("fleet-json", "", "write the fleet-scheduling benchmark as JSON to this path and exit")
+		scanJSON    = flag.String("scan-json", "", "write the scan-path cache benchmark as JSON to this path and exit")
+		cowJSON     = flag.String("cow-json", "", "write the CoW commit benchmark as JSON to this path and exit")
+		remusJSON   = flag.String("remus-json", "", "write the delta-replication benchmark as JSON to this path and exit")
+		clusterJSON = flag.String("cluster-json", "", "write the multi-host cluster benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -95,6 +96,17 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *remusJSON, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *remusJSON)
+		return nil
+	}
+	if *clusterJSON != "" {
+		out, err := experiments.ClusterSweepJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*clusterJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *clusterJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *clusterJSON)
 		return nil
 	}
 	if *exp != "" {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/detect"
 	"repro/internal/fleet"
@@ -57,6 +58,8 @@ func run() (retErr error) {
 		scanCache  = flag.String("scan-cache", "off", "audit read strategy: off (direct reads), uncached (per-epoch mappings), on (persistent cache + incremental walks)")
 		cow        = flag.Bool("cow", false, "copy-on-write commit: arm write faults on dirty pages and resume immediately, copying into the backup lazily")
 		vms        = flag.Int("vms", 1, "number of co-located VMs to protect (fleet mode when > 1)")
+		hosts      = flag.Int("hosts", 1, "number of simulated hosts (cluster mode when > 1: ring placement, anti-affine replicas, failover)")
+		hostKill   = flag.String("host-kill", "", "cluster: kill a host mid-run, as host:round (e.g. host1:3)")
 		stagger    = flag.Bool("stagger", false, "stagger fleet epoch boundaries (default bound: 1 VM paused at a time)")
 		maxPaused  = flag.Int("max-paused", 0, "fleet: max VMs paused/committing at once (0 = unbounded, or 1 with -stagger)")
 		traceOut   = flag.String("trace", "", "write a JSONL epoch trace (one event per phase) to this file")
@@ -124,6 +127,24 @@ func run() (retErr error) {
 				}
 			}()
 		}
+	}
+	if *hosts > 1 {
+		return runCluster(clusterOpts{
+			hosts:     *hosts,
+			vms:       *vms,
+			stagger:   *stagger,
+			maxPaused: *maxPaused,
+			windows:   *windows,
+			workload:  *wl,
+			epochs:    *epochs,
+			interval:  *interval,
+			attack:    *attack,
+			hostKill:  *hostKill,
+			cfg:       cfg,
+		})
+	}
+	if *hostKill != "" {
+		return errors.New("-host-kill needs cluster mode (-hosts > 1)")
 	}
 	if *vms > 1 {
 		return runFleet(fleetOpts{
@@ -299,6 +320,103 @@ func runFleet(o fleetOpts) error {
 		}
 	}
 	return nil
+}
+
+// clusterOpts collects the cluster-mode flags.
+type clusterOpts struct {
+	hosts     int
+	vms       int
+	stagger   bool
+	maxPaused int
+	windows   bool
+	workload  string
+	epochs    int
+	interval  time.Duration
+	attack    string
+	hostKill  string
+	cfg       crimes.Config
+}
+
+// runCluster protects VMs across several simulated hosts: ring
+// placement, anti-affine replicas, and — with -host-kill — a mid-run
+// host failure the control plane fails over transparently. With
+// -attack, the attack is injected into vm0's final epoch.
+func runCluster(o clusterOpts) error {
+	spec, err := workload.ParsecByName(o.workload)
+	if err != nil {
+		return err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Hosts:            o.hosts,
+		VMs:              o.vms,
+		MaxPausedPerHost: o.maxPaused,
+		Stagger:          o.stagger,
+		Windows:          o.windows,
+		Core:             o.cfg,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	for _, vm := range cl.VMs() {
+		if r := vm.ReplicaHostName(); r != "" {
+			fmt.Printf("placed %s on %s, replica on %s\n", vm.Name, vm.HostName(), r)
+		} else {
+			fmt.Printf("placed %s on %s, unreplicated\n", vm.Name, vm.HostName())
+		}
+	}
+	if o.hostKill != "" {
+		host, round, err := parseHostKill(o.hostKill)
+		if err != nil {
+			return err
+		}
+		cl.KillHostAt(host, round)
+		fmt.Printf("scheduled %s to die at round %d\n", host, round)
+	}
+
+	runners := make([]*workload.Runner, o.vms)
+	for i := range runners {
+		runners[i] = workload.NewRunner(spec, 64)
+	}
+	rep := cl.Run(o.epochs, func(vm *cluster.VM, round int) func(*guestos.Guest) error {
+		r := runners[vm.Index]
+		last := round == o.epochs
+		return func(g *guestos.Guest) error {
+			if err := r.RunEpoch(g, o.interval); err != nil {
+				return err
+			}
+			if last && o.attack != "" && vm.Index == 0 {
+				return inject(g, r.PID(), o.attack)
+			}
+			return nil
+		}
+	})
+	fmt.Print(rep.Render())
+	for _, vm := range cl.VMs() {
+		s := vm.Stats()
+		if s.Err != "" && !s.Halted {
+			fmt.Printf("%s stopped: %s\n", s.Name, s.Err)
+		}
+		if vm.Promotions > 0 {
+			fmt.Printf("%s failed over to %s (replica now on %s)\n",
+				vm.Name, vm.HostName(), vm.ReplicaHostName())
+		}
+	}
+	return nil
+}
+
+// parseHostKill parses the -host-kill host:round spec.
+func parseHostKill(spec string) (string, int, error) {
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 {
+		return "", 0, fmt.Errorf("bad -host-kill spec %q (want host:round)", spec)
+	}
+	round, err := strconv.Atoi(spec[i+1:])
+	if err != nil || round < 1 {
+		return "", 0, fmt.Errorf("bad -host-kill round %q (want a positive integer)", spec[i+1:])
+	}
+	return spec[:i], round, nil
 }
 
 // parseFault builds an injector from a site:N[:transient] spec.

@@ -96,9 +96,13 @@ type Checkpointer struct {
 	// Remote replication (§4.1: "If users desire both high availability
 	// and security, CRIMES could be configured to perform remote
 	// checkpoints"): dirty pages are additionally shipped over an
-	// encrypted conduit to a second, remote backup domain.
+	// encrypted conduit to a second, remote backup domain. remoteHV is
+	// the hypervisor hosting that domain — c.hv for the classic
+	// same-host remote, a peer host's hypervisor when the cluster
+	// control plane places the replica anti-affine.
 	remote        *hv.Domain
 	remoteConduit *remus.Conduit
+	remoteHV      *hv.Hypervisor
 
 	// Pipelined remote shipping (workers > 1): the ship is
 	// availability-only, so it leaves the pause window — committed page
@@ -359,13 +363,24 @@ func (c *Checkpointer) BackupDisk() *vdisk.Disk { return c.backupDisk }
 // availability guarantee CRIMES trades away by keeping its backup local
 // (§4.1), at the cost of paying the socket path again.
 func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
+	return c.EnableRemoteReplicationOn(c.hv, c.primary.Name()+"-remote", key)
+}
+
+// EnableRemoteReplicationOn is EnableRemoteReplication with an explicit
+// placement: the replica domain is created (under the given name) on
+// peer, which may be a different host's hypervisor. The conduit's
+// restore side writes directly into the replica domain, so the wire
+// protocol is unchanged; only where the replica lives differs. The
+// cluster control plane uses this to keep each VM's replica anti-affine
+// to its primary.
+func (c *Checkpointer) EnableRemoteReplicationOn(peer *hv.Hypervisor, name string, key []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
 	if c.remote != nil {
 		return errors.New("checkpoint: remote replication already enabled")
 	}
-	remote, err := c.hv.CreateDomain(c.primary.Name()+"-remote", c.primary.Pages())
+	remote, err := peer.CreateDomain(name, c.primary.Pages())
 	if err != nil {
 		return fmt.Errorf("checkpoint: create remote backup: %w", err)
 	}
@@ -373,11 +388,12 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 	if err != nil {
 		// The remote domain must not leak when the conduit to it cannot
 		// be established.
-		_ = c.hv.DestroyDomain(remote.ID())
+		_ = peer.DestroyDomain(remote.ID())
 		return err
 	}
 	c.remote = remote
 	c.remoteConduit = conduit
+	c.remoteHV = peer
 	if c.obsr != nil {
 		conduit.SetObserver(c.obsr, c.obsVM)
 	}
@@ -386,8 +402,8 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 	if err := c.shipRemote(c.allPFNs()); err != nil {
 		// Unwind completely: replication never became active.
 		_ = conduit.Close()
-		_ = c.hv.DestroyDomain(remote.ID())
-		c.remote, c.remoteConduit = nil, nil
+		_ = peer.DestroyDomain(remote.ID())
+		c.remote, c.remoteConduit, c.remoteHV = nil, nil, nil
 		return fmt.Errorf("checkpoint: initial remote sync: %w", err)
 	}
 	return nil
@@ -395,6 +411,51 @@ func (c *Checkpointer) EnableRemoteReplication(key []byte) error {
 
 // Remote returns the remote backup domain, or nil.
 func (c *Checkpointer) Remote() *hv.Domain { return c.remote }
+
+// RemoteHV returns the hypervisor hosting the remote backup domain, or
+// nil when remote replication is off.
+func (c *Checkpointer) RemoteHV() *hv.Hypervisor { return c.remoteHV }
+
+// DetachRemote settles the replication session and hands the remote
+// backup domain to the caller, which takes ownership. Outstanding
+// pipelined shipments are drained first — bytes already on the wire
+// land — so the returned domain holds exactly the last committed,
+// acknowledged checkpoint. This is the promotion hook: after the
+// primary's host dies, the cluster adopts the returned replica as the
+// VM's new primary. An error means the session could not be settled
+// cleanly (the replica may be stale) and promotion must not proceed.
+func (c *Checkpointer) DetachRemote() (*hv.Domain, error) {
+	if c.remote == nil {
+		return nil, errors.New("checkpoint: no remote replication session")
+	}
+	if err := c.stopShipper(); err != nil {
+		c.degradeRemote(err)
+		return nil, fmt.Errorf("checkpoint: detach remote: drain shipper: %w", err)
+	}
+	dom := c.remote
+	conduit := c.remoteConduit
+	c.remote, c.remoteConduit, c.remoteHV = nil, nil, nil
+	if _, err := conduit.Handoff(); err != nil {
+		return nil, fmt.Errorf("checkpoint: detach remote: %w", err)
+	}
+	return dom, nil
+}
+
+// DisableRemoteReplication tears the remote session down — conduit
+// closed, replica domain destroyed — without recording a degradation.
+// The cluster uses it when the host holding a VM's replica dies and a
+// fresh replica must be re-armed elsewhere; the destroy on the dead
+// host's hypervisor is bookkeeping only.
+func (c *Checkpointer) DisableRemoteReplication() error {
+	if c.remote == nil {
+		return nil
+	}
+	shipErr := c.stopShipper()
+	closeErr := c.remoteConduit.Close()
+	destroyErr := c.remoteHV.DestroyDomain(c.remote.ID())
+	c.remote, c.remoteConduit, c.remoteHV = nil, nil, nil
+	return errors.Join(shipErr, closeErr, destroyErr)
+}
 
 func (c *Checkpointer) shipRemote(dirty []mem.PFN) error {
 	fmP, err := c.hv.MapForeign(c.primary, dirty)
@@ -833,8 +894,8 @@ func (c *Checkpointer) shipRemoteRetry(dirty []mem.PFN) error {
 // pipelined mode the caller stops the shipper first.
 func (c *Checkpointer) degradeRemote(cause error) {
 	_ = c.remoteConduit.Close()
-	_ = c.hv.DestroyDomain(c.remote.ID())
-	c.remote, c.remoteConduit = nil, nil
+	_ = c.remoteHV.DestroyDomain(c.remote.ID())
+	c.remote, c.remoteConduit, c.remoteHV = nil, nil, nil
 	c.report.RemoteDegraded = true
 	c.met.degraded.Inc()
 	c.report.Warnings = append(c.report.Warnings,

@@ -1,0 +1,152 @@
+// Package cluster is the multi-host control plane: H simulated hosts,
+// each wrapping its own hypervisor and fleet-style scheduler, with VMs
+// placed onto hosts via a consistent-hash ring and each VM's Remus
+// replica placed anti-affine on a different host. On an injected host
+// failure the cluster detects the dead host, promotes each affected
+// VM's remote replica on its backup host, re-arms a fresh anti-affine
+// replica, and resumes the VM's epoch schedule there — so a host loss
+// costs availability for one failover window, never the evidence.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the per-host virtual-node count when RingConfig
+// leaves it zero. 64 vnodes keep the max/min VM-per-host ratio under
+// ~2x for realistic fleet sizes without making ring ops expensive.
+const DefaultVnodes = 64
+
+// ringPoint is one virtual node: a host's hashed position on the
+// circle.
+type ringPoint struct {
+	hash uint64
+	host string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Placement walks
+// clockwise from the key's hash to the first virtual node; replica
+// placement keeps walking to the next *distinct* host, which is what
+// makes the primary/replica pair anti-affine by construction. Adding or
+// removing a host moves only the keys whose closest virtual node
+// changed — the minimal-movement property the rebalance-churn benchmark
+// measures. Ring is not safe for concurrent mutation; the cluster
+// serializes membership changes at round boundaries.
+type Ring struct {
+	vnodes int
+	hosts  map[string]bool
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// host (DefaultVnodes when <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, hosts: make(map[string]bool)}
+}
+
+// hash64 is FNV-1a with a splitmix64-style avalanche finalizer.
+// Deterministic across runs and platforms, so ring placement — and
+// everything priced from it — is byte-stable. The finalizer matters:
+// raw FNV of near-identical strings ("vm1", "vm2", "host0#1",
+// "host0#2") differs mostly in the low bits, which clusters sequential
+// keys and a host's virtual nodes onto adjacent ring positions and
+// ruins placement balance.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a host's virtual nodes. Adding a present host is a no-op.
+func (r *Ring) Add(host string) {
+	if r.hosts[host] {
+		return
+	}
+	r.hosts[host] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", host, i)), host: host})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on host name so placement never depends on
+		// insertion order.
+		return r.points[a].host < r.points[b].host
+	})
+}
+
+// Remove drops a host's virtual nodes. Removing an absent host is a
+// no-op.
+func (r *Ring) Remove(host string) {
+	if !r.hosts[host] {
+		return
+	}
+	delete(r.hosts, host)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.host != host {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Hosts returns the member hosts in sorted order.
+func (r *Ring) Hosts() []string {
+	hs := make([]string, 0, len(r.hosts))
+	for h := range r.hosts {
+		hs = append(hs, h)
+	}
+	sort.Strings(hs)
+	return hs
+}
+
+// Size reports the member-host count.
+func (r *Ring) Size() int { return len(r.hosts) }
+
+// Lookup returns the host owning the key: the first virtual node
+// clockwise from the key's hash. Empty string on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	hs := r.LookupN(key, 1)
+	if len(hs) == 0 {
+		return ""
+	}
+	return hs[0]
+}
+
+// LookupN returns up to n distinct hosts walking clockwise from the
+// key's hash: the key's primary host first, then the anti-affine
+// replica host, and so on. Fewer than n hosts are returned when the
+// ring has fewer members.
+func (r *Ring) LookupN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.hosts) {
+		n = len(r.hosts)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.host] {
+			seen[p.host] = true
+			out = append(out, p.host)
+		}
+	}
+	return out
+}

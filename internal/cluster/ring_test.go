@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringHosts(n int) []string {
+	hs := make([]string, n)
+	for i := range hs {
+		hs[i] = fmt.Sprintf("host%d", i)
+	}
+	return hs
+}
+
+// Placement balance: with the default virtual-node count and enough
+// keys, no host carries more than a small constant multiple of any
+// other's share.
+func TestRingPlacementBalance(t *testing.T) {
+	const keys = 2000
+	for _, hosts := range []int{2, 4, 8, 16} {
+		counts := PlacementCounts(ringHosts(hosts), keys, 0)
+		if len(counts) != hosts {
+			t.Fatalf("%d hosts: only %d received keys: %v", hosts, len(counts), counts)
+		}
+		min, max := keys, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("%d hosts: some host received zero of %d keys", hosts, keys)
+		}
+		if ratio := float64(max) / float64(min); ratio > 2.5 {
+			t.Errorf("%d hosts: max/min placement ratio %.2f exceeds 2.5 (min=%d max=%d)",
+				hosts, ratio, min, max)
+		}
+	}
+}
+
+// Minimal movement: removing a host moves exactly the keys it owned
+// (every moved key's old owner is the removed host), and adding a host
+// moves only keys onto the new host. No key ever moves between two
+// unchanged hosts.
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 1000
+	hosts := ringHosts(5)
+	before := NewRing(0)
+	for _, h := range hosts {
+		before.Add(h)
+	}
+
+	t.Run("leave", func(t *testing.T) {
+		after := NewRing(0)
+		for _, h := range hosts {
+			after.Add(h)
+		}
+		after.Remove("host2")
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("vm%d", i)
+			was, now := before.Lookup(key), after.Lookup(key)
+			if was == now {
+				continue
+			}
+			moved++
+			if was != "host2" {
+				t.Fatalf("key %s moved %s -> %s though host2 left", key, was, now)
+			}
+		}
+		if moved == 0 {
+			t.Error("no key moved when a host left")
+		}
+		if frac := float64(moved) / keys; frac > 0.45 {
+			t.Errorf("leave moved %.0f%% of keys; expected about 1/5", 100*frac)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		after := NewRing(0)
+		for _, h := range hosts {
+			after.Add(h)
+		}
+		after.Add("host5")
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("vm%d", i)
+			was, now := before.Lookup(key), after.Lookup(key)
+			if was == now {
+				continue
+			}
+			moved++
+			if now != "host5" {
+				t.Fatalf("key %s moved %s -> %s though only host5 joined", key, was, now)
+			}
+		}
+		if moved == 0 {
+			t.Error("no key moved when a host joined")
+		}
+		if frac := float64(moved) / keys; frac > 0.45 {
+			t.Errorf("join moved %.0f%% of keys; expected about 1/6", 100*frac)
+		}
+	})
+}
+
+// LookupN returns distinct hosts, with the primary first, and is
+// insensitive to host insertion order.
+func TestRingLookupN(t *testing.T) {
+	r := NewRing(0)
+	for _, h := range []string{"c", "a", "b", "d"} {
+		r.Add(h)
+	}
+	r2 := NewRing(0)
+	for _, h := range []string{"a", "b", "c", "d"} {
+		r2.Add(h)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("vm%d", i)
+		hs := r.LookupN(key, 2)
+		if len(hs) != 2 {
+			t.Fatalf("LookupN(%s, 2) = %v", key, hs)
+		}
+		if hs[0] == hs[1] {
+			t.Fatalf("LookupN(%s) returned duplicate host %q", key, hs[0])
+		}
+		if hs[0] != r.Lookup(key) {
+			t.Fatalf("LookupN primary %q != Lookup %q for %s", hs[0], r.Lookup(key), key)
+		}
+		hs2 := r2.LookupN(key, 2)
+		if hs[0] != hs2[0] || hs[1] != hs2[1] {
+			t.Fatalf("insertion order changed placement of %s: %v vs %v", key, hs, hs2)
+		}
+	}
+	if got := r.LookupN("vm0", 10); len(got) != 4 {
+		t.Errorf("LookupN capped at %d hosts, want 4", len(got))
+	}
+	empty := NewRing(0)
+	if empty.Lookup("x") != "" || empty.LookupN("x", 2) != nil {
+		t.Error("empty ring returned a host")
+	}
+}
+
+// Removing and re-adding hosts keeps membership and Hosts() consistent.
+func TestRingMembership(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("b")
+	r.Add("a") // duplicate add is a no-op
+	if r.Size() != 2 || len(r.points) != 16 {
+		t.Fatalf("size=%d points=%d after duplicate add", r.Size(), len(r.points))
+	}
+	r.Remove("missing") // absent remove is a no-op
+	r.Remove("a")
+	if got := r.Hosts(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Hosts() = %v after removal", got)
+	}
+	if r.Lookup("anything") != "b" {
+		t.Fatal("sole remaining host does not own every key")
+	}
+}

@@ -100,6 +100,21 @@ type Model struct {
 	DeltaHashPageNs   float64
 	DeltaEncodeByteNs float64
 
+	// Multi-host cluster path. A VM whose Remus replica is anti-affine
+	// on another host ships its dirty pages over the inter-host link
+	// (CrossHostByteNs per byte, slower than the local socket) and pays
+	// one link round trip per epoch for the replica's acknowledgement
+	// (CrossHostRTTNs). A host failover pays PromoteBaseNs once per
+	// affected VM (detection, replica adoption, controller re-init),
+	// and ring-membership churn pays RebalancePageNs per page moved to
+	// its new home. None of these is consulted unless the cluster runs
+	// more than one host, so single-host configurations reproduce
+	// existing numbers bit-for-bit.
+	CrossHostByteNs float64
+	CrossHostRTTNs  float64
+	PromoteBaseNs   float64
+	RebalancePageNs float64
+
 	// Parallel pause path. Sharded copy/scan workers obey Amdahl's law:
 	// WorkerSerialFrac is the fraction of each parallelized phase that
 	// stays serial (shard dispatch, cache-line and memory-bus
@@ -154,6 +169,11 @@ func Default() Model {
 
 		DeltaHashPageNs:   400,
 		DeltaEncodeByteNs: 0.5,
+
+		CrossHostByteNs: 3.2,
+		CrossHostRTTNs:  2.0e5,
+		PromoteBaseNs:   5.0e7,
+		RebalancePageNs: 1.31e4,
 
 		WorkerSerialFrac: 0.05,
 		WorkerSpawnNs:    2.0e4,
@@ -416,6 +436,55 @@ func (m Model) CheckpointContended(opt Optimization, c Counts, workers, concurre
 		p.Copy = time.Duration(float64(p.Copy) * queue)
 	}
 	return p
+}
+
+// ReplicateCrossHost prices shipping one epoch's dirty pages to an
+// anti-affine replica on another host: the inter-host link's per-byte
+// cost plus one round trip for the replica's acknowledgement. With
+// hosts <= 1 there is no other host to ship to and the cost is zero.
+func (m Model) ReplicateCrossHost(pages, hosts int) time.Duration {
+	if hosts <= 1 || pages <= 0 {
+		return 0
+	}
+	return ns(m.CrossHostRTTNs + m.CrossHostByteNs*float64(pages)*4096)
+}
+
+// CheckpointCluster prices one VM's checkpoint in an H-host cluster
+// whose replica placement is anti-affine. hosts <= 1 delegates to
+// CheckpointContended exactly — a single host has nowhere anti-affine
+// to put replicas, so single-host cluster numbers reproduce the fleet's
+// bit-for-bit. With more hosts, the Remus-style cross-host commit
+// extends the copy phase: the epoch's dirty pages go over the
+// inter-host link and the pause holds until the replica acknowledges.
+func (m Model) CheckpointCluster(opt Optimization, c Counts, workers, concurrent, hosts int) Phases {
+	p := m.CheckpointContended(opt, c, workers, concurrent)
+	if hosts <= 1 {
+		return p
+	}
+	p.Copy += m.ReplicateCrossHost(c.DirtyPages, hosts)
+	return p
+}
+
+// Promote prices one VM's failover after its host dies: the fixed
+// promotion cost (failure detection amortized per VM, replica adoption,
+// controller re-initialization) plus a full cross-host resync to re-arm
+// a fresh anti-affine replica elsewhere.
+func (m Model) Promote(guestPages, hosts int) time.Duration {
+	d := ns(m.PromoteBaseNs)
+	if hosts > 1 {
+		d += m.ReplicateCrossHost(guestPages, hosts)
+	}
+	return d
+}
+
+// RebalanceChurn prices ring-membership churn: every page whose VM
+// moved to a new home host when a host joined or left must cross the
+// inter-host link once.
+func (m Model) RebalanceChurn(pagesMoved int) time.Duration {
+	if pagesMoved <= 0 {
+		return 0
+	}
+	return ns(m.RebalancePageNs * float64(pagesMoved))
 }
 
 // ScanCacheCounts are the real scan-path cache operation counts one

@@ -62,6 +62,7 @@ func All() []struct {
 		{"scan", ScanCacheComparison},
 		{"cow", CoWComparison},
 		{"delta", DeltaWireComparison},
+		{"cluster", ClusterScaling},
 	}
 }
 

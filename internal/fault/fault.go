@@ -10,7 +10,11 @@
 //
 // Sites are plain strings, conventionally "<package>.<operation>"
 // (e.g. "hv.map", "remus.send", "vdisk.copy"); each instrumented
-// package exports constants for its sites.
+// package exports constants for its sites. Sites may carry an instance
+// suffix when one operation exists per object rather than per package:
+// the cluster control plane's host heartbeat is checked at
+// "cluster.hostalive.<host>", one occurrence per scheduling round, so a
+// fatal failure scheduled at occurrence N kills that host at round N.
 package fault
 
 import (

@@ -94,6 +94,10 @@ type VM struct {
 // deterministic for a fixed seed regardless of goroutine scheduling.
 type Stats struct {
 	Name string
+	// Host labels which host currently runs the VM. Empty for a
+	// single-host fleet; the cluster control plane sets it so its
+	// roll-ups reuse this table instead of keeping a parallel one.
+	Host string
 	// Epochs counts RunEpoch attempts; CleanEpochs those that completed
 	// with no incident, error, or unwind.
 	Epochs      int
@@ -140,7 +144,7 @@ type Stats struct {
 type Fleet struct {
 	cfg  Config
 	hv   *hv.Hypervisor
-	gate *pauseGate
+	gate *PauseGate
 
 	// closeMu serializes Close against itself so concurrent teardowns
 	// (e.g. a test's deferred cleanup racing an explicit shutdown) see
@@ -161,7 +165,7 @@ func New(cfg Config) (*Fleet, error) {
 	f := &Fleet{
 		cfg:  cfg,
 		hv:   hv.New(frames),
-		gate: newPauseGate(cfg.MaxPaused),
+		gate: NewPauseGate(cfg.MaxPaused),
 	}
 	prof := guestos.LinuxProfile()
 	if cfg.Windows {
@@ -211,14 +215,41 @@ func New(cfg Config) (*Fleet, error) {
 			f.Close()
 			return nil, fmt.Errorf("fleet: attach controller to %s: %w", name, err)
 		}
-		vm := &VM{Index: i, Name: name, Guest: g, Controller: ctl}
-		vm.stats.Name = name
+		vm := NewVM(i, name, "", g, ctl)
 		if cfg.Stagger {
 			vm.stats.StaggerOffset = interval * time.Duration(i) / time.Duration(cfg.VMs)
 		}
 		f.vms = append(f.vms, vm)
 	}
 	return f, nil
+}
+
+// NewVM wraps an already-booted guest and its controller as a fleet VM
+// so schedulers other than Fleet (the cluster control plane, tests) can
+// reuse the per-VM epoch loop and stats accounting. host labels the
+// VM's current host for Stats/Render attribution; empty means
+// single-host.
+func NewVM(index int, name, host string, g *guestos.Guest, ctl *core.Controller) *VM {
+	vm := &VM{Index: index, Name: name, Guest: g, Controller: ctl}
+	vm.stats.Name = name
+	vm.stats.Host = host
+	return vm
+}
+
+// SetHost relabels the VM's host attribution (e.g. after a cluster
+// failover promotes its replica on another host).
+func (vm *VM) SetHost(host string) {
+	vm.mu.Lock()
+	vm.stats.Host = host
+	vm.mu.Unlock()
+}
+
+// SetStaggerOffset records the VM's scheduled epoch-boundary offset
+// (informational, surfaced in Stats).
+func (vm *VM) SetStaggerOffset(off time.Duration) {
+	vm.mu.Lock()
+	vm.stats.StaggerOffset = off
+	vm.mu.Unlock()
 }
 
 // HV returns the shared hypervisor.
@@ -246,14 +277,19 @@ func (f *Fleet) Run(epochs int, work Work) *Report {
 		wg.Add(1)
 		go func(vm *VM) {
 			defer wg.Done()
-			f.runVM(vm, epochs, work)
+			vm.RunEpochs(epochs, work)
 		}(vm)
 	}
 	wg.Wait()
 	return f.Report()
 }
 
-func (f *Fleet) runVM(vm *VM, epochs int, work Work) {
+// RunEpochs drives this VM through up to `epochs` epochs, accumulating
+// its stats. It is the per-VM half of Fleet.Run, exported so other
+// schedulers (the cluster control plane) can drive one epoch — or one
+// incarnation's worth — at a time. A halted VM returns immediately;
+// an error or incident stops the loop early.
+func (vm *VM) RunEpochs(epochs int, work Work) {
 	for e := 1; e <= epochs; e++ {
 		if vm.Controller.Halted() {
 			return
@@ -388,8 +424,22 @@ func (r *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "fleet: %d VMs, %s scheduling, K=%d (peak paused observed: %d)\n",
 		len(r.VMs), mode, r.MaxPaused, r.MaxPausedObserved)
-	fmt.Fprintf(&b, "%-10s %6s %6s %8s %9s %7s %12s %12s %10s %s\n",
-		"vm", "epochs", "clean", "findings", "incidents", "dirty", "pause", "vtime", "hcalls", "status")
+	// The host column appears only when some VM carries a host label, so
+	// single-host fleet output is unchanged.
+	hosts := false
+	for _, s := range r.VMs {
+		if s.Host != "" {
+			hosts = true
+			break
+		}
+	}
+	if hosts {
+		fmt.Fprintf(&b, "%-10s %-10s %6s %6s %8s %9s %7s %12s %12s %10s %s\n",
+			"vm", "host", "epochs", "clean", "findings", "incidents", "dirty", "pause", "vtime", "hcalls", "status")
+	} else {
+		fmt.Fprintf(&b, "%-10s %6s %6s %8s %9s %7s %12s %12s %10s %s\n",
+			"vm", "epochs", "clean", "findings", "incidents", "dirty", "pause", "vtime", "hcalls", "status")
+	}
 	for _, s := range r.VMs {
 		status := "ok"
 		switch {
@@ -400,10 +450,17 @@ func (r *Report) Render() string {
 		}
 		hcalls := s.Hypercalls.MapPage + s.Hypercalls.UnmapPage + s.Hypercalls.Translate +
 			s.Hypercalls.DirtyRead + s.Hypercalls.EventConfig
-		fmt.Fprintf(&b, "%-10s %6d %6d %8d %9d %7d %12v %12v %10d %s\n",
-			s.Name, s.Epochs, s.CleanEpochs, s.Findings, s.Incidents, s.DirtyPages,
-			s.PauseTotal.Round(time.Microsecond), s.VirtualTime.Round(time.Millisecond),
-			hcalls, status)
+		if hosts {
+			fmt.Fprintf(&b, "%-10s %-10s %6d %6d %8d %9d %7d %12v %12v %10d %s\n",
+				s.Name, s.Host, s.Epochs, s.CleanEpochs, s.Findings, s.Incidents, s.DirtyPages,
+				s.PauseTotal.Round(time.Microsecond), s.VirtualTime.Round(time.Millisecond),
+				hcalls, status)
+		} else {
+			fmt.Fprintf(&b, "%-10s %6d %6d %8d %9d %7d %12v %12v %10d %s\n",
+				s.Name, s.Epochs, s.CleanEpochs, s.Findings, s.Incidents, s.DirtyPages,
+				s.PauseTotal.Round(time.Microsecond), s.VirtualTime.Round(time.Millisecond),
+				hcalls, status)
+		}
 	}
 	fmt.Fprintf(&b, "aggregate: pause=%v worst=%v epochs=%d findings=%d incidents=%d halted=%d\n",
 		r.AggregatePause.Round(time.Microsecond), r.WorstPause.Round(time.Microsecond),
@@ -461,9 +518,12 @@ func (f *Fleet) Close() error {
 	return first
 }
 
-// pauseGate is a counting semaphore implementing core.Gate: at most K
-// holders at once, tracking the observed peak for verification.
-type pauseGate struct {
+// PauseGate is a counting semaphore implementing core.Gate: at most K
+// holders at once, tracking the observed peak for verification. It is
+// exported so per-host schedulers outside this package (the cluster
+// control plane) can bound their own pause windows with the same gate
+// the fleet uses.
+type PauseGate struct {
 	slots chan struct{}
 
 	mu   sync.Mutex
@@ -471,15 +531,17 @@ type pauseGate struct {
 	peak int
 }
 
-func newPauseGate(k int) *pauseGate {
+// NewPauseGate builds a gate admitting at most k concurrent holders
+// (minimum 1).
+func NewPauseGate(k int) *PauseGate {
 	if k < 1 {
 		k = 1
 	}
-	return &pauseGate{slots: make(chan struct{}, k)}
+	return &PauseGate{slots: make(chan struct{}, k)}
 }
 
 // Acquire blocks until a pause slot is free.
-func (g *pauseGate) Acquire() {
+func (g *PauseGate) Acquire() {
 	g.slots <- struct{}{}
 	g.mu.Lock()
 	g.cur++
@@ -490,7 +552,7 @@ func (g *pauseGate) Acquire() {
 }
 
 // Release returns the slot.
-func (g *pauseGate) Release() {
+func (g *PauseGate) Release() {
 	g.mu.Lock()
 	g.cur--
 	g.mu.Unlock()
@@ -498,7 +560,7 @@ func (g *pauseGate) Release() {
 }
 
 // Peak reports the most holders ever concurrent.
-func (g *pauseGate) Peak() int {
+func (g *PauseGate) Peak() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.peak

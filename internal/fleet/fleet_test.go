@@ -211,7 +211,7 @@ func TestFleetSingleVM(t *testing.T) {
 // goroutines, the observed peak never exceeds K.
 func TestPauseGateBound(t *testing.T) {
 	const k, goroutines, rounds = 3, 16, 200
-	g := newPauseGate(k)
+	g := NewPauseGate(k)
 	var wg sync.WaitGroup
 	for i := 0; i < goroutines; i++ {
 		wg.Add(1)

@@ -94,6 +94,40 @@ func Boot(dom *hv.Domain, cfg BootConfig) (*Guest, error) {
 	return g, nil
 }
 
+// Adopt attaches a guest kernel to a domain that already holds a booted
+// kernel's memory image — a promoted Remus replica after a host
+// failover — reconstructing the Go-side bookkeeping from a state
+// snapshot instead of re-running boot (which would clobber the
+// replicated memory). cfg must match the original guest's BootConfig:
+// the same profile, canary capacity, and seed, so the re-derived canary
+// secret agrees with the canaries already written into guest memory and
+// detector audits keep passing across the failover.
+func Adopt(dom *hv.Domain, cfg BootConfig, st *State) (*Guest, error) {
+	if cfg.Profile == nil {
+		cfg.Profile = LinuxProfile()
+	}
+	if cfg.CanaryCapacity <= 0 {
+		cfg.CanaryCapacity = 2048
+	}
+	if st == nil {
+		return nil, errors.New("guestos: adopt requires a state snapshot")
+	}
+	layout, err := computeLayout(cfg.Profile, dom.Pages(), cfg.CanaryCapacity)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guest{
+		dom:    dom,
+		prof:   cfg.Profile,
+		layout: layout,
+		procs:  make(map[uint32]*Process),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g.canarySecret = rng.Uint64() | 1 // same derivation as Boot
+	g.RestoreState(st)
+	return g, nil
+}
+
 // Domain returns the domain the guest runs in.
 func (g *Guest) Domain() *hv.Domain { return g.dom }
 

@@ -38,6 +38,11 @@ const (
 	PhaseRollback  Phase = "rollback"
 	PhaseReplay    Phase = "replay"
 	PhaseHalt      Phase = "halt"
+	// Cluster failover phases: a host declared dead by the control
+	// plane, and a VM's remote replica promoted to primary on its
+	// backup host.
+	PhaseHostDown Phase = "hostdown"
+	PhasePromote  Phase = "promote"
 )
 
 // Hypercalls is a per-event hypercall delta attribution. The fields
@@ -104,6 +109,10 @@ type Event struct {
 	Seq uint64 `json:"seq"`
 	// VM identifies the protected guest (the domain name).
 	VM string `json:"vm,omitempty"`
+	// Host names the host involved in a cluster event: the dead host on
+	// hostdown, the VM's new primary host on promote. Empty outside
+	// cluster runs, so single-host traces are unchanged.
+	Host string `json:"host,omitempty"`
 	// Epoch is the controller's 1-based epoch number.
 	Epoch int `json:"epoch,omitempty"`
 	// Phase names the epoch step this event records.

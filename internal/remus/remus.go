@@ -329,3 +329,18 @@ func (c *Conduit) Close() error {
 	}
 	return nil
 }
+
+// Handoff settles the replication session for promotion: the channel is
+// torn down, the restore side drains (the channel is synchronous, so
+// every acknowledged batch has already been written), and the backup
+// domain — holding the last acknowledged checkpoint — is returned to
+// the caller, which takes ownership. After a host failure the cluster
+// control plane boots the returned domain as the VM's new primary. An
+// error means a restore failed mid-session and the backup must not be
+// promoted.
+func (c *Conduit) Handoff() (*hv.Domain, error) {
+	if err := c.Close(); err != nil {
+		return nil, err
+	}
+	return c.backup, nil
+}
