@@ -1,7 +1,8 @@
 GO ?= go
 
-.PHONY: build test verify verify-quick bench pause-json bench-fleet \
-	bench-scan bench-cow bench-remus bench-cluster fmt-check ci bench-drift
+.PHONY: build test verify verify-quick bench bench-all pause-json bench-fleet \
+	bench-scan bench-cow bench-remus bench-cluster fmt-check static-check ci \
+	bench-drift scenarios
 
 build:
 	$(GO) build ./...
@@ -39,18 +40,39 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# staticcheck gate: runs when the binary is installed (CI installs it);
+# skipped silently elsewhere so `make ci` needs nothing beyond the Go
+# toolchain.
+static-check:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; fi
+
+# Scenario outcome gate: the full adversarial matrix (attack family x
+# workload x fault schedule x config arm) with recorded expected
+# outcomes. Any drift — a detection lost, an expected evasion suddenly
+# detected, a clean arm raising findings — fails the run.
+scenarios: build
+	$(GO) run ./cmd/crimes -scenario all
+
+# Regenerate every BENCH_*.json artifact in one pass; the single source
+# of truth for what "all benchmarks" means.
+bench-all: pause-json bench-fleet bench-scan bench-cow bench-remus bench-cluster
+
 # Benchmark drift gate: the BENCH_*.json artifacts are priced by the
 # deterministic cost model, so regenerating them must be a no-op. Any
 # diff means a change altered the priced pause path (or the artifacts
 # were not regenerated) and must be committed deliberately.
-bench-drift: pause-json bench-fleet bench-scan bench-cow bench-remus bench-cluster
-	git diff --exit-code BENCH_pause.json BENCH_fleet.json BENCH_scan.json BENCH_cow.json BENCH_remus.json BENCH_cluster.json
+bench-drift: bench-all
+	git diff --exit-code BENCH_*.json
 
 # Everything the CI workflow runs, in the same order, for local use.
-ci: fmt-check build
+ci: fmt-check static-check build
 	$(GO) vet ./...
 	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./...
+	$(MAKE) scenarios
 	$(MAKE) bench-drift
 
 bench:

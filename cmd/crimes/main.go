@@ -28,6 +28,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/guestos"
 	"repro/internal/honeypot"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 
 	crimes "repro"
@@ -64,8 +65,18 @@ func run() (retErr error) {
 		maxPaused  = flag.Int("max-paused", 0, "fleet: max VMs paused/committing at once (0 = unbounded, or 1 with -stagger)")
 		traceOut   = flag.String("trace", "", "write a JSONL epoch trace (one event per phase) to this file")
 		metricsOut = flag.String("metrics", "", "write a Prometheus-format metrics dump to this file on exit")
+		scen       = flag.String("scenario", "", "run catalog scenarios: a name, all, or family:F (see -scenario-list)")
+		scenList   = flag.Bool("scenario-list", false, "list the scenario catalog and exit")
+		scenTrace  = flag.String("scenario-trace-dir", "", "write each scenario's JSONL obs trace into this directory")
 	)
 	flag.Parse()
+
+	if *scenList {
+		return listScenarios(os.Stdout)
+	}
+	if *scen != "" {
+		return runScenarios(os.Stdout, *scen, *scenTrace)
+	}
 
 	if *modules == "list" {
 		for _, n := range detect.AvailableModules() {
@@ -498,6 +509,63 @@ func runHoneypot(sys *crimes.System, pid uint32) error {
 		return err
 	}
 	fmt.Println(hp.Report())
+	return nil
+}
+
+// listScenarios prints the catalog: one line per scenario with its
+// family, config arm, and expected outcome, then the family and arm
+// vocabularies the -scenario selectors accept.
+func listScenarios(w io.Writer) error {
+	fmt.Fprintf(w, "%-24s %-14s %-12s %s\n", "SCENARIO", "FAMILY", "ARM", "EXPECTED")
+	for _, s := range scenario.Catalog() {
+		fmt.Fprintf(w, "%-24s %-14s %-12s %s\n", s.Name, s.Family, s.Arm, s.Expect.Outcome)
+	}
+	fmt.Fprintf(w, "\nfamilies: %s\n", strings.Join(scenario.Families(), ", "))
+	fmt.Fprintf(w, "arms:     %s\n", strings.Join(scenario.ArmNames(), ", "))
+	return nil
+}
+
+// runScenarios executes a catalog selection — a scenario name, "all",
+// or "family:F" — and fails on any outcome drift.
+func runScenarios(w io.Writer, sel, traceDir string) error {
+	var list []scenario.Scenario
+	switch {
+	case sel == "all":
+		list = scenario.Catalog()
+	case strings.HasPrefix(sel, "family:"):
+		fam := strings.TrimPrefix(sel, "family:")
+		list = scenario.ByFamily(fam)
+		if len(list) == 0 {
+			return fmt.Errorf("no scenarios in family %q (families: %s)",
+				fam, strings.Join(scenario.Families(), ", "))
+		}
+	default:
+		s, err := scenario.ByName(sel)
+		if err != nil {
+			return fmt.Errorf("%w (try -scenario-list)", err)
+		}
+		list = []scenario.Scenario{s}
+	}
+	failed := 0
+	fmt.Fprintf(w, "%-24s %-14s %-12s %-9s %-9s %s\n",
+		"SCENARIO", "FAMILY", "ARM", "EXPECTED", "ACTUAL", "STATUS")
+	for _, s := range list {
+		r, err := scenario.Run(s, scenario.Options{TraceDir: traceDir})
+		if err != nil {
+			return err
+		}
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL: " + r.Why
+			failed++
+		}
+		fmt.Fprintf(w, "%-24s %-14s %-12s %-9s %-9s %s\n",
+			r.Name, r.Family, r.Arm, r.Expected, r.Actual, status)
+	}
+	fmt.Fprintf(w, "\n%d/%d scenarios matched their expected outcome\n", len(list)-failed, len(list))
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) drifted from their recorded outcome", failed)
+	}
 	return nil
 }
 

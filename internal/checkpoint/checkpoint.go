@@ -412,6 +412,21 @@ func (c *Checkpointer) EnableRemoteReplicationOn(peer *hv.Hypervisor, name strin
 // Remote returns the remote backup domain, or nil.
 func (c *Checkpointer) Remote() *hv.Domain { return c.remote }
 
+// TamperRemoteWire arms a one-shot man-in-the-middle mutation on the
+// remote replication conduit: the next shipped batch has one ciphertext
+// byte XORed with mask at the given wire offset. Scenario harness only —
+// it models an attacker on the replication network. Raw-mode streams
+// silently apply the flipped plaintext to the remote backup; the v2
+// decoder is fail-closed and kills the channel instead, which surfaces
+// as a remote-replication degradation at the next commit.
+func (c *Checkpointer) TamperRemoteWire(offset int, mask byte) error {
+	if c.remoteConduit == nil {
+		return fmt.Errorf("checkpoint: tamper remote wire: no remote replication session")
+	}
+	c.remoteConduit.TamperNextBatch(offset, mask)
+	return nil
+}
+
 // RemoteHV returns the hypervisor hosting the remote backup domain, or
 // nil when remote replication is off.
 func (c *Checkpointer) RemoteHV() *hv.Hypervisor { return c.remoteHV }

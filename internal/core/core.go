@@ -279,6 +279,19 @@ type Config struct {
 	// emission never touches the virtual clock, so priced pause times
 	// are identical with and without an observer.
 	Obs *obs.Observer
+	// EpochJitter randomizes each epoch boundary: epoch N runs for
+	// EpochInterval plus a deterministic pseudo-random offset in
+	// [-EpochJitter, +EpochJitter] derived from JitterSeed and N. An
+	// epoch-aware attacker who times its cleanup against the nominal
+	// interval can no longer predict when the audit lands, so a
+	// hide-then-restore scheduled "just before the boundary" is caught
+	// mid-attack with probability proportional to the jitter window.
+	// The zero value keeps every boundary at exactly EpochInterval —
+	// bit-for-bit identical to previous releases.
+	EpochJitter time.Duration
+	// JitterSeed seeds the deterministic jitter sequence; runs with the
+	// same seed, interval, and jitter reproduce the same boundaries.
+	JitterSeed uint64
 }
 
 func (c *Config) setDefaults() {
@@ -313,6 +326,38 @@ func (c *Config) setDefaults() {
 	} else if c.Workers < 0 {
 		c.Workers = 1
 	}
+}
+
+// EpochIntervalAt returns the actual speculative-execution window for
+// 1-based epoch n: EpochInterval exactly when EpochJitter is zero,
+// otherwise EpochInterval plus a deterministic offset in
+// [-EpochJitter, +EpochJitter] drawn from a splitmix64 hash of
+// (JitterSeed, n). Deterministic so traces, benchmarks, and scenario
+// outcomes reproduce across runs.
+func (c *Config) EpochIntervalAt(n int) time.Duration {
+	if c.EpochJitter <= 0 {
+		return c.EpochInterval
+	}
+	iv := c.EpochInterval + jitterOffset(c.JitterSeed, uint64(n), c.EpochJitter)
+	if iv < c.EpochInterval/2 {
+		// A pathological jitter (>= interval/2) still leaves a real window.
+		iv = c.EpochInterval / 2
+	}
+	return iv
+}
+
+// jitterOffset hashes (seed, n) through a splitmix64 finalizer into a
+// duration in [-jitter, +jitter]. No math/rand and no global state: the
+// same inputs always give the same boundary.
+func jitterOffset(seed, n uint64, jitter time.Duration) time.Duration {
+	z := seed + n*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	span := uint64(2*jitter) + 1
+	return time.Duration(z%span) - jitter
 }
 
 // HistoryEntry is one retained checkpoint.
@@ -703,6 +748,12 @@ func (c *Controller) SetupTime() time.Duration { return c.setupTime }
 // Epoch returns the number of completed epochs.
 func (c *Controller) Epoch() int { return c.epoch }
 
+// EpochIntervalAt returns the (possibly jittered) speculative window the
+// controller will use for 1-based epoch n. Workload drivers that plan
+// sub-epoch action timing consult this; an in-guest attacker cannot —
+// that asymmetry is exactly what Config.EpochJitter buys.
+func (c *Controller) EpochIntervalAt(n int) time.Duration { return c.cfg.EpochIntervalAt(n) }
+
 // ScanCacheTotals returns the cumulative scan-path cache counters across
 // all epochs (all zero when the scan cache is disabled). Fleet
 // reporting rolls these up per VM.
@@ -916,8 +967,9 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 			return nil, fmt.Errorf("core: epoch %d workload: %w", c.epoch, err)
 		}
 	}
-	c.virtualNow += c.cfg.EpochInterval
-	c.emit(obs.Event{Phase: obs.PhaseRun, DurNs: int64(c.cfg.EpochInterval)})
+	interval := c.cfg.EpochIntervalAt(c.epoch)
+	c.virtualNow += interval
+	c.emit(obs.Event{Phase: obs.PhaseRun, DurNs: int64(interval)})
 
 	// Pause at the epoch boundary. With a PauseGate configured, a pause
 	// slot is acquired first and held until RunEpoch returns: the fleet
@@ -1158,7 +1210,7 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		// overhead (the guest was running), not pause, so they advance
 		// the virtual clock directly.
 		var faultNs time.Duration
-		res.Phases, faultNs = c.cfg.Model.CheckpointCoW(c.cfg.Opt, counts, c.cfg.Workers, res.CoW, c.cfg.EpochInterval)
+		res.Phases, faultNs = c.cfg.Model.CheckpointCoW(c.cfg.Opt, counts, c.cfg.Workers, res.CoW, c.cfg.EpochIntervalAt(c.epoch))
 		c.virtualNow += faultNs
 	} else {
 		res.Phases = c.cfg.Model.CheckpointParallel(c.cfg.Opt, counts, c.cfg.Workers)
@@ -1390,7 +1442,7 @@ func (c *Controller) timeline(findings []detect.Finding, pin *analyze.Pinpoint, 
 			}
 		}
 	}
-	tl.AttackToEpochEnd = time.Duration((1 - frac) * float64(c.cfg.EpochInterval))
+	tl.AttackToEpochEnd = time.Duration((1 - frac) * float64(c.cfg.EpochIntervalAt(c.epoch)))
 	scanNs := m.VMIScanBaseNs + m.VMIPerNodeNs*float64(sc.NodesWalked) + m.CanaryCheckNs*float64(sc.CanariesChecked)
 	tl.SuspendAndScan = time.Duration(m.SuspendNs + scanNs)
 	// Rollback restores the full VM from the local backup (a memcpy of

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEpochIntervalAtZeroJitter pins the seed-path convention: with the
+// knob off, every epoch gets exactly the nominal interval.
+func TestEpochIntervalAtZeroJitter(t *testing.T) {
+	cfg := Config{EpochInterval: 100 * time.Millisecond}
+	for n := 0; n < 64; n++ {
+		if got := cfg.EpochIntervalAt(n); got != cfg.EpochInterval {
+			t.Fatalf("epoch %d: interval %v, want %v", n, got, cfg.EpochInterval)
+		}
+	}
+}
+
+// TestEpochIntervalAtBounds checks the jittered interval stays within
+// [interval-jitter, interval+jitter], floored at half the nominal
+// interval, and actually varies across epochs.
+func TestEpochIntervalAtBounds(t *testing.T) {
+	nominal := 100 * time.Millisecond
+	jitter := 45 * time.Millisecond
+	cfg := Config{EpochInterval: nominal, EpochJitter: jitter, JitterSeed: 7}
+	varied := false
+	for n := 0; n < 256; n++ {
+		got := cfg.EpochIntervalAt(n)
+		if got < nominal-jitter || got > nominal+jitter {
+			t.Fatalf("epoch %d: interval %v outside [%v, %v]", n, got, nominal-jitter, nominal+jitter)
+		}
+		if got < nominal/2 {
+			t.Fatalf("epoch %d: interval %v below the half-interval floor", n, got)
+		}
+		if got != nominal {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced no variation over 256 epochs")
+	}
+}
+
+// TestEpochIntervalAtHalfIntervalFloor drives the clamp: jitter wider
+// than half the interval must never push an epoch below interval/2.
+func TestEpochIntervalAtHalfIntervalFloor(t *testing.T) {
+	nominal := 100 * time.Millisecond
+	cfg := Config{EpochInterval: nominal, EpochJitter: 90 * time.Millisecond, JitterSeed: 3}
+	floored := false
+	for n := 0; n < 4096; n++ {
+		got := cfg.EpochIntervalAt(n)
+		if got < nominal/2 {
+			t.Fatalf("epoch %d: interval %v below floor %v", n, got, nominal/2)
+		}
+		if got == nominal/2 {
+			floored = true
+		}
+	}
+	if !floored {
+		t.Fatal("wide jitter never hit the half-interval floor in 4096 epochs (clamp untested)")
+	}
+}
+
+// TestEpochIntervalAtDeterminism: same seed, same schedule; a different
+// seed gives a different schedule (the property the attacker cannot
+// predict without the seed).
+func TestEpochIntervalAtDeterminism(t *testing.T) {
+	a := Config{EpochInterval: 100 * time.Millisecond, EpochJitter: 40 * time.Millisecond, JitterSeed: 1}
+	b := Config{EpochInterval: 100 * time.Millisecond, EpochJitter: 40 * time.Millisecond, JitterSeed: 1}
+	c := Config{EpochInterval: 100 * time.Millisecond, EpochJitter: 40 * time.Millisecond, JitterSeed: 2}
+	differs := false
+	for n := 0; n < 128; n++ {
+		if a.EpochIntervalAt(n) != b.EpochIntervalAt(n) {
+			t.Fatalf("epoch %d: same seed, different interval", n)
+		}
+		if a.EpochIntervalAt(n) != c.EpochIntervalAt(n) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 1 and 2 produced identical schedules over 128 epochs")
+	}
+}

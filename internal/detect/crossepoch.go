@@ -1,0 +1,283 @@
+package detect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/vmi"
+)
+
+// This file holds the cross-epoch detectors: modules that retain state
+// from previous audit boundaries so they can catch epoch-aware
+// adversaries — attacks staged and cleaned up entirely between two
+// audits, which every single-snapshot module is structurally blind to.
+// Both are stateful and keyed per guest image (the VMI context's
+// reader), like IncrementalDeepScanModule, so one instance shared
+// across a fleet keeps each VM's history separate.
+
+// zombieState mirrors the guest kernel's task zombie state: an exited
+// process whose slab record remains as forensic evidence.
+const zombieState = 2
+
+// TransientCensusModule catches processes that spawn and exit entirely
+// inside one epoch. A transient attack process is invisible to every
+// point-in-time view — by the boundary it is unlinked from the task
+// list and pid hash, and the deep sweeps skip its record because its
+// state is zombie, not running. The census instead retains the set of
+// PIDs observed alive at any prior boundary; a zombie slab record whose
+// PID was never in that set must belong to a process whose entire
+// lifetime fit between two audits.
+type TransientCensusModule struct {
+	mu      sync.Mutex
+	byGuest map[vmi.PhysReader]*censusState
+}
+
+type censusState struct {
+	mu sync.Mutex
+	// aliveSeen holds every PID observed alive at a prior boundary.
+	aliveSeen map[uint32]bool
+	// reported suppresses duplicate findings for the same zombie record
+	// across later scans (the record's bytes persist until slot reuse).
+	reported map[uint64]bool
+}
+
+var _ Module = (*TransientCensusModule)(nil)
+
+// NewTransientCensus returns a cross-epoch process-lifetime census.
+func NewTransientCensus() *TransientCensusModule {
+	return &TransientCensusModule{byGuest: make(map[vmi.PhysReader]*censusState)}
+}
+
+// Name implements Module.
+func (*TransientCensusModule) Name() string { return "transient-census" }
+
+// Scan implements Module.
+func (m *TransientCensusModule) Scan(ctx *ScanContext) ([]Finding, error) {
+	m.mu.Lock()
+	st := m.byGuest[ctx.VMI.Reader()]
+	if st == nil {
+		st = &censusState{aliveSeen: make(map[uint32]bool), reported: make(map[uint64]bool)}
+		m.byGuest[ctx.VMI.Reader()] = st
+	}
+	m.mu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	alive, err := currentAlivePIDs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	zombies, err := sweepTaskSlab(ctx, zombieState)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, z := range zombies {
+		if st.aliveSeen[z.pid] || alive[z.pid] || st.reported[z.va] {
+			continue
+		}
+		st.reported[z.va] = true
+		out = append(out, Finding{
+			Module: "transient-census",
+			Kind:   KindTransientProcess,
+			PID:    z.pid,
+			Name:   z.name,
+			TaskVA: z.va,
+			Description: fmt.Sprintf(
+				"zombie record %q pid %d at %#x was never observed alive at any audit boundary (spawned and exited within one epoch)",
+				z.name, z.pid, z.va),
+		})
+	}
+	for pid := range alive {
+		st.aliveSeen[pid] = true
+	}
+	return out, nil
+}
+
+// currentAlivePIDs merges both kernel process views so a hidden-but-
+// alive process still counts as observed.
+func currentAlivePIDs(ctx *ScanContext) (map[uint32]bool, error) {
+	listed, err := ctx.VMI.ProcessList()
+	if err != nil {
+		return nil, err
+	}
+	hashed, err := ctx.VMI.PIDHashList()
+	if err != nil {
+		return nil, err
+	}
+	alive := make(map[uint32]bool, len(listed)+len(hashed))
+	for _, p := range listed {
+		alive[p.PID] = true
+	}
+	for _, p := range hashed {
+		alive[p.PID] = true
+	}
+	return alive, nil
+}
+
+// sweepTaskSlab parses every task slab slot and returns the records in
+// the requested state. Unlike the whole-memory deep sweep this reads
+// only the slab region, which the census and revert modules know from
+// the task_slab symbol.
+func sweepTaskSlab(ctx *ScanContext, wantState uint32) ([]rawCandidate, error) {
+	prof := ctx.VMI.Profile()
+	slabVA, err := ctx.VMI.Symbol("task_slab")
+	if err != nil {
+		return nil, err
+	}
+	slabPA := slabVA - prof.KernelVirtBase
+	buf := make([]byte, guestos.MaxTasks*prof.TaskSize)
+	if err := ctx.VMI.ReadPA(slabPA, buf); err != nil {
+		return nil, fmt.Errorf("task slab sweep at %#x: %w", slabPA, err)
+	}
+	var out []rawCandidate
+	for slot := 0; slot < guestos.MaxTasks; slot++ {
+		rec := buf[slot*prof.TaskSize : (slot+1)*prof.TaskSize]
+		if binary.LittleEndian.Uint32(rec[0:]) != prof.TaskMagic {
+			continue
+		}
+		pid := binary.LittleEndian.Uint32(rec[prof.TaskOffPID:])
+		state := binary.LittleEndian.Uint32(rec[prof.TaskOffState:])
+		name := vmi.CStr(rec[prof.TaskOffComm : prof.TaskOffComm+prof.TaskCommLen])
+		if pid == 0 || state != wantState || !printable(name) {
+			continue
+		}
+		out = append(out, rawCandidate{
+			pid:  pid,
+			name: name,
+			va:   slabVA + uint64(slot*prof.TaskSize),
+		})
+	}
+	return out, nil
+}
+
+// CrossEpochRevertModule catches write-then-revert DKOM: an attacker
+// who mutates a kernel structure mid-epoch (say, unlinks a task) and
+// restores the exact prior bytes before the boundary looks clean to
+// every content check — but the dirty bitmap still records the writes.
+// The module retains a copy of the kernel-structure regions (task slab,
+// pid hash, syscall table) from the previous boundary; a page that is
+// dirty this epoch yet byte-identical to its retained copy was written
+// and then restored, which no benign kernel path does to these regions.
+type CrossEpochRevertModule struct {
+	mu      sync.Mutex
+	byGuest map[vmi.PhysReader]*revertState
+}
+
+type revertState struct {
+	mu sync.Mutex
+	// retained maps page number -> that page's bytes at the previous
+	// audit boundary, covering only the watched kernel regions.
+	retained map[int][]byte
+}
+
+var _ Module = (*CrossEpochRevertModule)(nil)
+
+// NewCrossEpochRevert returns a retained-snapshot diff detector over
+// the guest's kernel-structure regions.
+func NewCrossEpochRevert() *CrossEpochRevertModule {
+	return &CrossEpochRevertModule{byGuest: make(map[vmi.PhysReader]*revertState)}
+}
+
+// Name implements Module.
+func (*CrossEpochRevertModule) Name() string { return "cross-epoch-revert" }
+
+// watchedRegions returns the [pa, pa+len) spans of the kernel
+// structures worth diffing across epochs.
+func watchedRegions(ctx *ScanContext) ([][2]uint64, error) {
+	prof := ctx.VMI.Profile()
+	spans := make([][2]uint64, 0, 3)
+	for _, r := range []struct {
+		sym  string
+		size uint64
+	}{
+		{"task_slab", uint64(guestos.MaxTasks * prof.TaskSize)},
+		{"pid_hash", uint64(prof.PIDHashBuckets * 8)},
+		{"sys_call_table", uint64(prof.NumSyscalls * 8)},
+	} {
+		va, err := ctx.VMI.Symbol(r.sym)
+		if err != nil {
+			return nil, err
+		}
+		spans = append(spans, [2]uint64{va - prof.KernelVirtBase, r.size})
+	}
+	return spans, nil
+}
+
+// Scan implements Module.
+func (m *CrossEpochRevertModule) Scan(ctx *ScanContext) ([]Finding, error) {
+	m.mu.Lock()
+	st := m.byGuest[ctx.VMI.Reader()]
+	if st == nil {
+		st = &revertState{}
+		m.byGuest[ctx.VMI.Reader()] = st
+	}
+	m.mu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	spans, err := watchedRegions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the watched page set.
+	pages := make(map[int]bool)
+	for _, s := range spans {
+		for pa := s[0] &^ (mem.PageSize - 1); pa < s[0]+s[1]; pa += mem.PageSize {
+			pages[int(pa/mem.PageSize)] = true
+		}
+	}
+	// A rollback restores memory to the prior boundary and marks the VM
+	// fully dirty — every watched page would then read as dirty-but-
+	// identical. A real in-guest revert only dirties the handful of
+	// pages it touched, so a blanket-dirty bitmap means the baseline
+	// must reset, not that an attack happened.
+	diff := ctx.Dirty != nil
+	if diff {
+		numPages := int(ctx.VMI.MemBytes() / mem.PageSize)
+		if ctx.Dirty.Count() >= numPages {
+			diff = false
+		}
+	}
+	var out []Finding
+	buf := make([]byte, mem.PageSize)
+	fresh := make(map[int][]byte, len(pages))
+	for p := range pages {
+		if err := ctx.VMI.ReadPA(uint64(p)*mem.PageSize, buf); err != nil {
+			return nil, fmt.Errorf("cross-epoch revert read page %d: %w", p, err)
+		}
+		prev, have := st.retained[p]
+		if have && diff && ctx.Dirty.Test(p) && bytesEqual(prev, buf) {
+			out = append(out, Finding{
+				Module: "cross-epoch-revert",
+				Kind:   KindWriteRevert,
+				TaskVA: uint64(p) * mem.PageSize,
+				Description: fmt.Sprintf(
+					"kernel structure page %d was written during the epoch yet matches the prior boundary byte-for-byte (write-then-revert DKOM)",
+					p),
+			})
+		}
+		fresh[p] = append([]byte(nil), buf...)
+	}
+	// A rollback re-runs the scan against restored memory with a full
+	// bitmap; retaining the fresh copies keeps the baseline coherent.
+	st.retained = fresh
+	return out, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

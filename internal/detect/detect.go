@@ -25,6 +25,8 @@ const (
 	KindSyscallHijack
 	KindHiddenProcess
 	KindSuspiciousOutput
+	KindTransientProcess
+	KindWriteRevert
 )
 
 // String renders the kind.
@@ -40,6 +42,10 @@ func (k Kind) String() string {
 		return "hidden-process"
 	case KindSuspiciousOutput:
 		return "suspicious-output"
+	case KindTransientProcess:
+		return "transient-process"
+	case KindWriteRevert:
+		return "write-revert"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -76,7 +76,7 @@ func TestOutputScanEmptyContext(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := AvailableModules()
-	if len(names) != 7 {
+	if len(names) != 9 {
 		t.Fatalf("available modules = %v", names)
 	}
 	mods, err := ModulesByName("canary-overflow, deep-psscan")

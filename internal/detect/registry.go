@@ -10,13 +10,15 @@ import (
 // detector stack from a comma-separated flag ("customizable security
 // modules to meet customer needs", §1 Modular).
 var registry = map[string]func() Module{
-	"canary-overflow":   func() Module { return CanaryModule{} },
-	"malware-blacklist": func() Module { return NewMalwareModule(nil) },
-	"syscall-integrity": func() Module { return SyscallModule{} },
-	"hidden-process":    func() Module { return HiddenProcessModule{} },
-	"output-scan":       func() Module { return NewOutputScanModule(nil, nil) },
-	"deep-psscan":       func() Module { return DeepScanModule{} },
-	"deep-psscan-inc":   func() Module { return NewIncrementalDeepScan() },
+	"canary-overflow":    func() Module { return CanaryModule{} },
+	"malware-blacklist":  func() Module { return NewMalwareModule(nil) },
+	"syscall-integrity":  func() Module { return SyscallModule{} },
+	"hidden-process":     func() Module { return HiddenProcessModule{} },
+	"output-scan":        func() Module { return NewOutputScanModule(nil, nil) },
+	"deep-psscan":        func() Module { return DeepScanModule{} },
+	"deep-psscan-inc":    func() Module { return NewIncrementalDeepScan() },
+	"transient-census":   func() Module { return NewTransientCensus() },
+	"cross-epoch-revert": func() Module { return NewCrossEpochRevert() },
 }
 
 // AvailableModules lists the registered module names.

@@ -29,6 +29,7 @@ const (
 	OpProcCloak
 	OpModHide
 	OpRegSet
+	OpProcUnhide
 )
 
 // String renders the op kind.
@@ -72,6 +73,8 @@ func (k OpKind) String() string {
 		return "mod-hide"
 	case OpRegSet:
 		return "reg-set"
+	case OpProcUnhide:
+		return "proc-unhide"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -210,6 +213,8 @@ func (g *Guest) dispatch(op Op) (Op, error) {
 		err = g.doHideModule(op.Name)
 	case OpRegSet:
 		err = g.doSetRegValue(op.Name, op.Data)
+	case OpProcUnhide:
+		err = g.doUnhideProcess(op.PID)
 	default:
 		err = fmt.Errorf("guestos: unknown op kind %v", op.Kind)
 	}
@@ -247,6 +252,16 @@ func (g *Guest) ExitProcess(pid uint32) error {
 // to hide a process from ps. psxview-style cross views catch this.
 func (g *Guest) HideProcess(pid uint32) error {
 	_, err := g.perform(Op{Kind: OpProcHide, PID: pid})
+	return err
+}
+
+// UnhideProcess re-links a previously hidden process back into the task
+// list — the second half of a hide-then-restore DKOM attack that tries
+// to look clean at every audit boundary. If the hidden process was the
+// most recently started one, relinking at the tail restores the list
+// bytes exactly, so a single-epoch snapshot diff sees nothing.
+func (g *Guest) UnhideProcess(pid uint32) error {
+	_, err := g.perform(Op{Kind: OpProcUnhide, PID: pid})
 	return err
 }
 

@@ -315,6 +315,21 @@ func (g *Guest) doHideProcess(pid uint32) error {
 	return nil
 }
 
+func (g *Guest) doUnhideProcess(pid uint32) error {
+	p, err := g.Process(pid)
+	if err != nil {
+		return err
+	}
+	if !p.hidden {
+		return nil
+	}
+	if err := g.linkTask(p); err != nil {
+		return err
+	}
+	p.hidden = false
+	return nil
+}
+
 func (g *Guest) doCloakProcess(pid uint32) error {
 	p, err := g.Process(pid)
 	if err != nil {

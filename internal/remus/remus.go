@@ -76,6 +76,38 @@ type Conduit struct {
 	// SetObserver before the conduit carries instrumented traffic.
 	ackNs     *obs.Histogram
 	sentBytes *obs.Counter
+
+	// tamper models a one-shot man-in-the-middle on the wire: when
+	// armed, the next transmitted batch has the ciphertext byte at
+	// tamperOff XORed with tamperMask (guarded by mu). Test and
+	// scenario harness only.
+	tamperArmed bool
+	tamperOff   int
+	tamperMask  byte
+}
+
+// TamperNextBatch arms a one-shot man-in-the-middle mutation: the next
+// batch written to the wire has its ciphertext byte at offset XORed
+// with mask after encryption. Under CTR encryption this flips exactly
+// the same bit positions in the decrypted plaintext — the classic
+// malleability attack an integrity-free stream cannot notice. The raw
+// v1 protocol applies whatever decrypts; the v2 decoder is fail-closed,
+// so structural bytes that decode to garbage kill the channel instead.
+func (c *Conduit) TamperNextBatch(offset int, mask byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tamperArmed, c.tamperOff, c.tamperMask = true, offset, mask
+}
+
+// applyTamper mutates buf per the armed one-shot tamper. Caller holds mu.
+func (c *Conduit) applyTamper(buf []byte) {
+	if !c.tamperArmed {
+		return
+	}
+	c.tamperArmed = false
+	if c.tamperOff >= 0 && c.tamperOff < len(buf) {
+		buf[c.tamperOff] ^= c.tamperMask
+	}
 }
 
 // SetObserver wires the conduit's metrics: the backup's ack round-trip
@@ -192,6 +224,7 @@ func (c *Conduit) sendRaw(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) er
 		off += mem.PageSize
 	}
 	c.enc.XORKeyStream(buf, buf)
+	c.applyTamper(buf)
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}

@@ -308,6 +308,7 @@ func (c *Conduit) sendV2(pfns []mem.PFN, page func(mem.PFN) ([]byte, error)) err
 	}
 	c.sendBuf = buf
 	c.enc.XORKeyStream(buf, buf)
+	c.applyTamper(buf)
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("remus: send checkpoint: %w", err)
 	}

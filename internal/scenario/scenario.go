@@ -1,0 +1,487 @@
+// Package scenario is the declarative adversarial harness: a scenario
+// names one attack family, a workload, an optional fault schedule, and
+// a config arm, plus the outcome CRIMES is expected to produce. The
+// catalog (catalog.go) is the codebase's standing security regression
+// matrix — `crimes -scenario all` and the CI matrix job fail on any
+// outcome drift, the same role the bench-drift gate plays for
+// performance. Evasions that legitimately survive are recorded as
+// expected-evasion entries so a future detector flips them to detected
+// instead of silently changing behavior.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/detect"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/workload"
+
+	crimes "repro"
+)
+
+// Outcome classifies how a scenario run ended.
+type Outcome int
+
+// Outcome taxonomy. OutcomeEvasion is an *expected* outcome only: it
+// asserts the run looks clean even though an attack ran, and requires
+// the scenario to document why in Notes. The actual outcome of such a
+// run is OutcomeClean.
+const (
+	OutcomeClean    Outcome = iota + 1 // every epoch committed, nothing found
+	OutcomeDetected                    // an audit raised an incident (VM quarantined)
+	OutcomeHalted                      // VM halted without an incident (fatal unwind)
+	OutcomeDegraded                    // a feature was disabled to keep epochs running
+	OutcomeEvasion                     // documented: attack ran and the run looks clean
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeHalted:
+		return "halted"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeEvasion:
+		return "evasion"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// RunContext carries per-run state into actions and verifiers: the
+// launched system, the workload runner, and a scratch map where one
+// action can record a PID (say, the process it hid) for a later action
+// (the restore) to find.
+type RunContext struct {
+	Sys    *crimes.System
+	Runner *workload.Runner
+	PIDs   map[string]uint32
+}
+
+// Action is one attacker step, planned for a fraction of the *nominal*
+// epoch interval. The harness models an epoch-aware adversary: the
+// attacker times its steps against the interval it believes the
+// controller uses. An action whose planned instant falls past the
+// actual (possibly jittered) boundary does not run this epoch — it
+// carries over to the start of the next one, exactly as a real attacker
+// caught mid-sequence by an early audit would still be mid-sequence.
+type Action struct {
+	// Epoch is the 1-based epoch the action is planned for. Values
+	// below 1 clamp to the first epoch and values past the scenario
+	// length clamp to the final epoch (the scheduling edge cases).
+	Epoch int
+	// Frac positions the action inside the epoch as a fraction of the
+	// nominal interval (0 = epoch start, 0.95 = just before the
+	// boundary the attacker expects).
+	Frac float64
+	// Do performs the step.
+	Do func(rc *RunContext, g *guestos.Guest) error
+}
+
+// FaultSpec schedules one deterministic fault injection.
+type FaultSpec struct {
+	Site      string // hv/conduit/disk fault site, e.g. "hv.suspend"
+	N         int    // fail the Nth occurrence
+	Transient bool   // transient faults are retried; fatal ones unwind
+}
+
+// TamperSpec arms the one-shot replication-wire man-in-the-middle
+// before the given epoch's commit ships.
+type TamperSpec struct {
+	Epoch  int
+	Offset int
+	Mask   byte
+}
+
+// Expectation is the assertion a scenario makes about its run.
+type Expectation struct {
+	// Outcome is the expected outcome class.
+	Outcome Outcome
+	// ByEpoch, for OutcomeDetected/OutcomeDegraded, requires the event
+	// at or before this epoch (0 accepts any epoch).
+	ByEpoch int
+	// Kinds, when set, requires every listed finding kind among the
+	// detection's findings (e.g. both kinds of a two-attack epoch).
+	Kinds []detect.Kind
+	// MinRetries requires at least this many transparent retries
+	// (fault-schedule scenarios).
+	MinRetries int
+	// AllowErrors tolerates unwound epoch errors (resume/rollback
+	// recoveries) instead of failing the scenario on them.
+	AllowErrors bool
+}
+
+// Scenario is one cell of the adversarial matrix.
+type Scenario struct {
+	Name     string // unique, filesystem-safe (used for trace files)
+	Family   string // attack family shard key
+	Workload string // PARSEC profile name
+	Arm      string // config arm name (see Arms)
+	Windows  bool   // boot the Windows guest profile
+	Epochs   int
+	Interval time.Duration // nominal epoch interval (default 100ms)
+	Actions  []Action
+	Faults   []FaultSpec
+	Remote   bool // enable remote replication before epoch 1
+	Tamper   *TamperSpec
+	// Verify, when set, runs after the epochs as an extra assertion
+	// (e.g. that a silently-tampered remote backup really diverged).
+	Verify func(rc *RunContext) error
+	Expect Expectation
+	// Notes documents the scenario; required for expected evasions (the
+	// record of *why* the evasion survives and what would close it).
+	Notes string
+}
+
+func (s *Scenario) interval() time.Duration {
+	if s.Interval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return s.Interval
+}
+
+// Result is one scenario run's observed outcome versus its expectation.
+type Result struct {
+	Name          string
+	Family        string
+	Arm           string
+	Expected      Outcome
+	Actual        Outcome
+	DetectedEpoch int
+	Kinds         []detect.Kind
+	Retries       int
+	Degradations  []string
+	Errors        []string
+	Pass          bool
+	Why           string // populated on failure
+	TracePath     string
+}
+
+// Options configures a harness run.
+type Options struct {
+	// TraceDir, when set, writes each scenario's obs trace (JSONL) to
+	// <TraceDir>/<name>.jsonl — CI uploads these on failure.
+	TraceDir string
+}
+
+// Run executes one scenario and evaluates its expectation. An error
+// return means the harness itself failed (bad scenario, launch
+// failure), not that the expectation was missed — that is Result.Pass.
+func Run(s Scenario, opt Options) (*Result, error) {
+	arm, err := ArmByName(s.Arm)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	r := &Result{Name: s.Name, Family: s.Family, Arm: s.Arm, Expected: s.Expect.Outcome}
+	var obsrv *crimes.Observer
+	var traceFile *os.File
+	if opt.TraceDir != "" {
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("scenario %s: trace dir: %w", s.Name, err)
+		}
+		r.TracePath = filepath.Join(opt.TraceDir, s.Name+".jsonl")
+		traceFile, err = os.Create(r.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: trace file: %w", s.Name, err)
+		}
+		defer traceFile.Close()
+		obsrv = crimes.NewObserver(traceFile, false)
+	}
+
+	if arm.Cluster {
+		err = runOnCluster(s, arm, obsrv, r)
+	} else {
+		err = runSingle(s, arm, obsrv, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	evaluate(s, r)
+	return r, nil
+}
+
+// runSingle drives one protected VM through the scenario's epochs with
+// sub-epoch action scheduling.
+func runSingle(s Scenario, arm Arm, obsrv *crimes.Observer, r *Result) error {
+	cfg := crimes.Config{
+		EpochInterval:    s.interval(),
+		ReplayOnIncident: true,
+		Workers:          1,
+		Obs:              obsrv,
+	}
+	arm.Apply(&cfg)
+	sys, err := crimes.Launch(crimes.Options{GuestPages: 2048, Windows: s.Windows, Config: cfg})
+	if err != nil {
+		return fmt.Errorf("scenario %s: launch: %w", s.Name, err)
+	}
+	defer sys.Close()
+
+	if len(s.Faults) > 0 {
+		inj := &crimes.FaultInjector{}
+		for _, f := range s.Faults {
+			inj.Fail(f.Site, f.N, 1, f.Transient)
+		}
+		sys.HV.InjectFaults(inj)
+	}
+	if s.Remote {
+		// The remote replica lives on its own hypervisor (its own
+		// machine memory), as in the cluster control plane.
+		peer := hv.New(2048 + 64)
+		if err := sys.Controller.Checkpointer().EnableRemoteReplicationOn(peer, "guest-remote", []byte("0123456789abcdef")); err != nil {
+			return fmt.Errorf("scenario %s: remote replication: %w", s.Name, err)
+		}
+	}
+
+	spec, err := workload.ParsecByName(s.Workload)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	rc := &RunContext{
+		Sys:    sys,
+		Runner: workload.NewRunner(spec, 64),
+		PIDs:   make(map[string]uint32),
+	}
+
+	nominal := s.interval()
+	var pending []Action // actions deferred past a jittered boundary
+	kinds := make(map[detect.Kind]bool)
+	for e := 1; e <= s.Epochs; e++ {
+		actual := sys.Controller.EpochIntervalAt(e)
+		if s.Tamper != nil && s.Tamper.Epoch == e {
+			if err := sys.Controller.Checkpointer().TamperRemoteWire(s.Tamper.Offset, s.Tamper.Mask); err != nil {
+				return fmt.Errorf("scenario %s: %w", s.Name, err)
+			}
+		}
+		plan := plannedActions(s, e)
+		carried := pending
+		pending = nil
+		res, err := sys.RunEpoch(func(g *guestos.Guest) error {
+			// Carried-over steps first: the attacker resumes exactly
+			// where the early boundary interrupted it.
+			for _, a := range carried {
+				if err := a.Do(rc, g); err != nil {
+					return err
+				}
+			}
+			if err := rc.Runner.RunEpoch(g, actual); err != nil {
+				return err
+			}
+			for _, a := range plan {
+				if time.Duration(a.Frac*float64(nominal)) <= actual {
+					if err := a.Do(rc, g); err != nil {
+						return err
+					}
+				} else {
+					pending = append(pending, a)
+				}
+			}
+			return nil
+		})
+		if res != nil {
+			r.Retries += res.Recovery.Retries
+			if len(res.Recovery.Degradations) > 0 && r.DetectedEpoch == 0 && len(r.Degradations) == 0 {
+				r.DetectedEpoch = e
+			}
+			r.Degradations = append(r.Degradations, res.Recovery.Degradations...)
+			for _, f := range res.Findings {
+				kinds[f.Kind] = true
+			}
+			if res.Incident != nil {
+				r.DetectedEpoch = e
+				r.Actual = OutcomeDetected
+				break
+			}
+		}
+		if err != nil {
+			if sys.Controller.Halted() {
+				r.Actual = OutcomeHalted
+				break
+			}
+			// The epoch unwound (resume or rollback) and the VM is still
+			// running; record and continue — whether that fails the
+			// scenario is the expectation's call.
+			r.Errors = append(r.Errors, err.Error())
+		}
+	}
+	for k := range kinds {
+		r.Kinds = append(r.Kinds, k)
+	}
+	sort.Slice(r.Kinds, func(i, j int) bool { return r.Kinds[i] < r.Kinds[j] })
+	if r.Actual == 0 {
+		if len(r.Degradations) > 0 {
+			r.Actual = OutcomeDegraded
+		} else {
+			r.Actual = OutcomeClean
+		}
+	}
+	if s.Verify != nil {
+		if err := s.Verify(rc); err != nil {
+			r.Errors = append(r.Errors, "verify: "+err.Error())
+			r.Pass, r.Why = false, "verify: "+err.Error()
+		}
+	}
+	return nil
+}
+
+// runOnCluster drives the scenario on the multi-host control plane:
+// actions run at the end of their planned round on vm0 only (sub-epoch
+// scheduling is a single-VM concern), and detection is judged from the
+// aggregate report.
+func runOnCluster(s Scenario, arm Arm, obsrv *crimes.Observer, r *Result) error {
+	cfg := crimes.Config{
+		EpochInterval: s.interval(),
+		Workers:       1,
+		Obs:           obsrv,
+	}
+	arm.Apply(&cfg)
+	cl, err := cluster.New(cluster.Config{
+		Hosts:      arm.Hosts,
+		VMs:        arm.VMs,
+		GuestPages: 1024,
+		Stagger:    true,
+		Windows:    s.Windows,
+		Core:       cfg,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario %s: cluster: %w", s.Name, err)
+	}
+	defer cl.Close()
+
+	spec, err := workload.ParsecByName(s.Workload)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	runners := make([]*workload.Runner, arm.VMs)
+	rcs := make([]*RunContext, arm.VMs)
+	for i := range runners {
+		runners[i] = workload.NewRunner(spec, 64)
+		rcs[i] = &RunContext{Runner: runners[i], PIDs: make(map[string]uint32)}
+	}
+	rep := cl.Run(s.Epochs, func(vm *cluster.VM, round int) func(*guestos.Guest) error {
+		rc := rcs[vm.Index]
+		return func(g *guestos.Guest) error {
+			if err := rc.Runner.RunEpoch(g, s.interval()); err != nil {
+				return err
+			}
+			if vm.Index != 0 {
+				return nil
+			}
+			for _, a := range plannedActions(s, round) {
+				if err := a.Do(rc, g); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	if rep.TotalIncidents > 0 {
+		r.Actual = OutcomeDetected
+	} else {
+		r.Actual = OutcomeClean
+	}
+	for _, vm := range cl.VMs() {
+		st := vm.Stats()
+		if st.Err != "" && !st.Halted {
+			r.Errors = append(r.Errors, fmt.Sprintf("%s: %s", st.Name, st.Err))
+		}
+	}
+	return nil
+}
+
+// plannedActions returns the scenario's actions whose (clamped) epoch
+// is e, in Frac order.
+func plannedActions(s Scenario, e int) []Action {
+	var out []Action
+	for _, a := range s.Actions {
+		if clampEpoch(a.Epoch, s.Epochs) == e {
+			out = append(out, a)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Frac < out[j].Frac })
+	return out
+}
+
+// clampEpoch maps out-of-range planned epochs into the run: epoch 0 (or
+// negative) becomes the first epoch, anything past the end the final
+// one.
+func clampEpoch(e, total int) int {
+	if e < 1 {
+		return 1
+	}
+	if e > total {
+		return total
+	}
+	return e
+}
+
+// evaluate fills Result.Pass/Why from the scenario's expectation.
+func evaluate(s Scenario, r *Result) {
+	if r.Why != "" { // a Verify failure already decided
+		return
+	}
+	fail := func(format string, args ...any) {
+		r.Pass, r.Why = false, fmt.Sprintf(format, args...)
+	}
+	exp := s.Expect
+	want := exp.Outcome
+	if want == OutcomeEvasion {
+		if s.Notes == "" {
+			fail("expected evasions must document why in Notes")
+			return
+		}
+		want = OutcomeClean
+	}
+	if r.Actual != want {
+		fail("outcome %s, want %s", r.Actual, exp.Outcome)
+		return
+	}
+	if exp.ByEpoch > 0 && r.DetectedEpoch > exp.ByEpoch {
+		fail("event at epoch %d, want by epoch %d", r.DetectedEpoch, exp.ByEpoch)
+		return
+	}
+	for _, k := range exp.Kinds {
+		found := false
+		for _, got := range r.Kinds {
+			if got == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail("missing finding kind %s (got %v)", k, r.Kinds)
+			return
+		}
+	}
+	if r.Retries < exp.MinRetries {
+		fail("%d retries, want at least %d", r.Retries, exp.MinRetries)
+		return
+	}
+	if !exp.AllowErrors && len(r.Errors) > 0 {
+		fail("unexpected epoch errors: %v", r.Errors)
+		return
+	}
+	r.Pass = true
+}
+
+// RunAll executes the given scenarios in order.
+func RunAll(list []Scenario, opt Options) ([]*Result, error) {
+	out := make([]*Result, 0, len(list))
+	for _, s := range list {
+		r, err := Run(s, opt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -93,3 +93,48 @@ func InjectHiddenProcess(g *guestos.Guest, name string) (uint32, error) {
 	}
 	return pid, nil
 }
+
+// InjectTransient is the epoch-aware dropper: a process that spawns,
+// stages its loot in memory, and exits — all inside one epoch. At the
+// audit boundary nothing is linked in any kernel list and the slab
+// record is a zombie every point-in-time scan skips, so only a detector
+// that remembers which PIDs were ever seen alive can tell this zombie
+// from a benign exited process. Returns the transient's PID.
+func InjectTransient(g *guestos.Guest, name string) (uint32, error) {
+	pid, err := g.StartProcess(name, 500, 4)
+	if err != nil {
+		return 0, fmt.Errorf("transient attack: %w", err)
+	}
+	va, err := g.Malloc(pid, 256)
+	if err != nil {
+		return 0, fmt.Errorf("transient attack: %w", err)
+	}
+	if err := g.WriteUser(pid, va, []byte("staged-loot")); err != nil {
+		return 0, fmt.Errorf("transient attack: %w", err)
+	}
+	if err := g.ExitProcess(pid); err != nil {
+		return 0, fmt.Errorf("transient attack: %w", err)
+	}
+	return pid, nil
+}
+
+// InjectStealthyHide is phase one of the hide-then-restore DKOM attack:
+// it starts a process (which links at the task-list tail) and unlinks
+// it. Because the victim is the most recently started task, a later
+// RestoreHiddenProcess relinks it at the tail and the list bytes match
+// the pre-hide state exactly. Returns the hidden PID.
+func InjectStealthyHide(g *guestos.Guest, name string) (uint32, error) {
+	return InjectHiddenProcess(g, name)
+}
+
+// RestoreHiddenProcess is phase two: the attacker relinks the process
+// before the (nominal) epoch boundary so every audit sees an intact
+// task list. If an audit lands between hide and restore — or a
+// cross-epoch diff notices the list pages were written yet end the
+// epoch byte-identical — the attack is caught.
+func RestoreHiddenProcess(g *guestos.Guest, pid uint32) error {
+	if err := g.UnhideProcess(pid); err != nil {
+		return fmt.Errorf("dkom restore attack: %w", err)
+	}
+	return nil
+}

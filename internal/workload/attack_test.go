@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/mem"
+)
+
+func bootGuest(t *testing.T) (*hv.Domain, *guestos.Guest) {
+	t.Helper()
+	h := hv.New(512 + 16)
+	dom, err := h.CreateDomain("vm", 512)
+	if err != nil {
+		t.Fatalf("CreateDomain: %v", err)
+	}
+	g, err := guestos.Boot(dom, guestos.BootConfig{Seed: 42})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return dom, g
+}
+
+func dumpMemory(t *testing.T, dom *hv.Domain) []byte {
+	t.Helper()
+	out := make([]byte, dom.MemBytes())
+	buf := make([]byte, mem.PageSize)
+	for pa := uint64(0); pa < dom.MemBytes(); pa += mem.PageSize {
+		if err := dom.ReadPhys(pa, buf); err != nil {
+			t.Fatalf("ReadPhys %#x: %v", pa, err)
+		}
+		copy(out[pa:], buf)
+	}
+	return out
+}
+
+// TestHideRestoreIsByteIdentical pins the property the dkom-restore
+// evasion depends on: hiding the most recently started process and
+// relinking it returns guest memory to the exact pre-hide bytes, so a
+// point-in-time audit at the boundary sees nothing — only a cross-epoch
+// diff of the dirtied-but-identical pages can.
+func TestHideRestoreIsByteIdentical(t *testing.T) {
+	dom, g := bootGuest(t)
+	if _, err := g.StartProcess("app", 1000, 4); err != nil {
+		t.Fatalf("StartProcess app: %v", err)
+	}
+	pid, err := g.StartProcess("lurker", 1000, 4)
+	if err != nil {
+		t.Fatalf("StartProcess lurker: %v", err)
+	}
+	before := dumpMemory(t, dom)
+
+	if err := g.HideProcess(pid); err != nil {
+		t.Fatalf("HideProcess: %v", err)
+	}
+	if bytes.Equal(before, dumpMemory(t, dom)) {
+		t.Fatal("hiding the process left memory unchanged; unlink wrote nothing")
+	}
+	if err := RestoreHiddenProcess(g, pid); err != nil {
+		t.Fatalf("RestoreHiddenProcess: %v", err)
+	}
+	after := dumpMemory(t, dom)
+	if !bytes.Equal(before, after) {
+		t.Fatal("hide+restore did not return memory to the pre-hide bytes")
+	}
+	// Restoring an already-linked process is a no-op, not an error.
+	if err := RestoreHiddenProcess(g, pid); err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+	if !bytes.Equal(after, dumpMemory(t, dom)) {
+		t.Fatal("redundant restore modified memory")
+	}
+}
+
+// TestInjectStealthyHideRoundTrip covers the packaged hide attack with
+// the restore: the victim is startable, hideable, and relinkable, and
+// shows up in the process list again afterwards.
+func TestInjectStealthyHideRoundTrip(t *testing.T) {
+	_, g := bootGuest(t)
+	pid, err := InjectStealthyHide(g, "ghost")
+	if err != nil {
+		t.Fatalf("InjectStealthyHide: %v", err)
+	}
+	if pid == 0 {
+		t.Fatal("InjectStealthyHide returned PID 0")
+	}
+	if err := RestoreHiddenProcess(g, pid); err != nil {
+		t.Fatalf("RestoreHiddenProcess: %v", err)
+	}
+	p, err := g.Process(pid)
+	if err != nil {
+		t.Fatalf("Process(%d): %v", pid, err)
+	}
+	if p.Name != "ghost" {
+		t.Fatalf("restored process name = %q, want ghost", p.Name)
+	}
+}
+
+// TestInjectTransientExitsInsideTheEpoch checks the dropper's
+// signature: its PID is allocated and gone again without surviving as a
+// live process, and PIDs stay monotonic (no reuse that would let a
+// later process masquerade as the transient).
+func TestInjectTransientExitsInsideTheEpoch(t *testing.T) {
+	_, g := bootGuest(t)
+	pid, err := InjectTransient(g, "dropper")
+	if err != nil {
+		t.Fatalf("InjectTransient: %v", err)
+	}
+	if pid == 0 {
+		t.Fatal("InjectTransient returned PID 0")
+	}
+	next, err := g.StartProcess("app", 1000, 4)
+	if err != nil {
+		t.Fatalf("StartProcess: %v", err)
+	}
+	if next <= pid {
+		t.Fatalf("PID went backwards: transient=%d next=%d", pid, next)
+	}
+}
