@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: build test verify verify-quick bench bench-all pause-json bench-fleet \
-	bench-scan bench-cow bench-remus bench-cluster fmt-check static-check ci \
-	bench-drift scenarios
+	bench-scan bench-cow bench-remus bench-cluster bench-web fmt-check \
+	static-check ci bench-drift scenarios
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,8 @@ verify-quick:
 		-trace /tmp/crimes-verify-trace-delta.jsonl -metrics /tmp/crimes-verify-metrics-delta.txt >/dev/null
 	$(GO) run -race ./cmd/crimes -hosts 3 -vms 6 -epochs 4 -host-kill host1:3 \
 		-trace /tmp/crimes-verify-trace-cluster.jsonl -metrics /tmp/crimes-verify-metrics-cluster.txt >/dev/null
+	$(GO) run -race ./cmd/crimes -vms 8 -stagger -epochs 4 -slo 2500us \
+		-trace /tmp/crimes-verify-trace-slo.jsonl -metrics /tmp/crimes-verify-metrics-slo.txt >/dev/null
 
 # gofmt gate: fail listing any file that is not gofmt-clean.
 fmt-check:
@@ -58,7 +60,7 @@ scenarios: build
 
 # Regenerate every BENCH_*.json artifact in one pass; the single source
 # of truth for what "all benchmarks" means.
-bench-all: pause-json bench-fleet bench-scan bench-cow bench-remus bench-cluster
+bench-all: pause-json bench-fleet bench-scan bench-cow bench-remus bench-cluster bench-web
 
 # Benchmark drift gate: the BENCH_*.json artifacts are priced by the
 # deterministic cost model, so regenerating them must be a no-op. Any
@@ -106,6 +108,14 @@ bench-cow:
 # seed, so it too is byte-stable.
 bench-remus:
 	$(GO) run ./cmd/crimes-bench -remus-json BENCH_remus.json
+
+# Regenerate the machine-readable web-scale load benchmark: every
+# protection arm's epoch timeline is captured from the real controller
+# with Workers=1 base configs and fixed seeds, then replayed into the
+# deterministic cohort load generator in virtual time, so the output is
+# byte-stable.
+bench-web:
+	$(GO) run ./cmd/crimes-bench -web-json BENCH_web.json
 
 # Regenerate the machine-readable multi-host cluster benchmark: the
 # scale and ring sections are priced by the deterministic cost model

@@ -1,4 +1,4 @@
-package crimes
+package crimes_test
 
 // One benchmark per paper table and figure (run with `go test -bench=.`),
 // plus real micro-benchmarks for the claims the substrate can measure
@@ -6,6 +6,11 @@ package crimes
 // table/figure benchmarks execute the corresponding experiment generator
 // and log its rows on the first iteration, so `go test -bench . -v`
 // regenerates the full evaluation.
+//
+// This file lives in the external test package: it imports
+// internal/experiments, which reaches the scenario arm catalog, which
+// in turn builds on the root package — an import cycle if this were an
+// in-package test.
 
 import (
 	"bytes"
@@ -13,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	crimes "repro"
 	"repro/internal/checkpoint"
 	"repro/internal/cost"
 	"repro/internal/detect"
@@ -200,7 +206,7 @@ func BenchmarkFleet(b *testing.B) {
 					GuestPages: 512,
 					Stagger:    true,
 					Seed:       7,
-					Core: Config{
+					Core: crimes.Config{
 						EpochInterval: 20 * time.Millisecond,
 						Workers:       4,
 					},
@@ -242,7 +248,7 @@ func BenchmarkFleet(b *testing.B) {
 // BenchmarkEpochEndToEnd measures a full real CRIMES epoch: workload
 // writes, pause, audit, checkpoint, release, resume.
 func BenchmarkEpochEndToEnd(b *testing.B) {
-	sys, err := Launch(Options{GuestPages: 2048, Config: Config{EpochInterval: 50 * time.Millisecond}})
+	sys, err := crimes.Launch(crimes.Options{GuestPages: 2048, Config: crimes.Config{EpochInterval: 50 * time.Millisecond}})
 	if err != nil {
 		b.Fatal(err)
 	}

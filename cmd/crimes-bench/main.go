@@ -34,6 +34,7 @@ func run() error {
 		cowJSON     = flag.String("cow-json", "", "write the CoW commit benchmark as JSON to this path and exit")
 		remusJSON   = flag.String("remus-json", "", "write the delta-replication benchmark as JSON to this path and exit")
 		clusterJSON = flag.String("cluster-json", "", "write the multi-host cluster benchmark as JSON to this path and exit")
+		webJSON     = flag.String("web-json", "", "write the web-scale load benchmark as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -107,6 +108,17 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *clusterJSON, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *clusterJSON)
+		return nil
+	}
+	if *webJSON != "" {
+		out, err := experiments.WebSweepJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*webJSON, out, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *webJSON, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *webJSON)
 		return nil
 	}
 	if *exp != "" {

@@ -28,7 +28,10 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/guestos"
 	"repro/internal/honeypot"
+	"repro/internal/obs"
 	"repro/internal/scenario"
+	"repro/internal/slo"
+	"repro/internal/websim"
 	"repro/internal/workload"
 
 	crimes "repro"
@@ -68,6 +71,8 @@ func run() (retErr error) {
 		scen       = flag.String("scenario", "", "run catalog scenarios: a name, all, or family:F (see -scenario-list)")
 		scenList   = flag.Bool("scenario-list", false, "list the scenario catalog and exit")
 		scenTrace  = flag.String("scenario-trace-dir", "", "write each scenario's JSONL obs trace into this directory")
+		webUsers   = flag.Int64("web", 0, "closed-loop web users: replay this run's epoch timeline into the cohort load generator and report client tail latency (single-VM mode)")
+		sloTarget  = flag.Duration("slo", 0, "client p99 objective: enable the adaptive SLO controller steering interval, workers, and pause-gate K (0 = off)")
 	)
 	flag.Parse()
 
@@ -140,6 +145,9 @@ func run() (retErr error) {
 		}
 	}
 	if *hosts > 1 {
+		if *webUsers > 0 {
+			return errors.New("-web needs single-VM mode")
+		}
 		return runCluster(clusterOpts{
 			hosts:     *hosts,
 			vms:       *vms,
@@ -151,6 +159,7 @@ func run() (retErr error) {
 			interval:  *interval,
 			attack:    *attack,
 			hostKill:  *hostKill,
+			slo:       *sloTarget,
 			cfg:       cfg,
 		})
 	}
@@ -158,6 +167,9 @@ func run() (retErr error) {
 		return errors.New("-host-kill needs cluster mode (-hosts > 1)")
 	}
 	if *vms > 1 {
+		if *webUsers > 0 {
+			return errors.New("-web needs single-VM mode")
+		}
 		return runFleet(fleetOpts{
 			vms:       *vms,
 			stagger:   *stagger,
@@ -167,8 +179,12 @@ func run() (retErr error) {
 			epochs:    *epochs,
 			interval:  *interval,
 			attack:    *attack,
+			slo:       *sloTarget,
 			cfg:       cfg,
 		})
+	}
+	if *sloTarget > 0 {
+		cfg.SLO = slo.New(slo.Config{TargetP99: *sloTarget})
 	}
 	sys, err := crimes.Launch(crimes.Options{
 		GuestPages: 2048,
@@ -194,6 +210,21 @@ func run() (retErr error) {
 	}
 	runner := workload.NewRunner(spec, 64)
 
+	// -web: a cohort load generator lives through the same virtual
+	// timeline the controller produces, so every checkpoint pause lands
+	// on simulated clients; its per-epoch p99 also feeds the SLO
+	// controller when one is live.
+	var clients *websim.Gen
+	var clientHist *obs.Histogram
+	var clientsServed uint64
+	if *webUsers > 0 {
+		clients, err = websim.NewGen(websim.GenParams{Classes: websim.DefaultClasses(*webUsers)})
+		if err != nil {
+			return err
+		}
+		clientHist = obs.NewHistogram(websim.LatencyBuckets())
+	}
+
 	for i := 1; i <= *epochs; i++ {
 		last := i == *epochs
 		res, err := sys.RunEpoch(func(g *guestos.Guest) error {
@@ -215,6 +246,14 @@ func run() (retErr error) {
 			res.Epoch, res.Counts.DirtyPages, res.Phases.Total().Round(time.Microsecond), len(res.Findings))
 		reportCommit(res.Commit)
 		reportRecovery(res.Recovery)
+		if clients != nil {
+			clients.Run(res.Interval)
+			clients.Pause(res.Phases.Total())
+			clientHist.Merge(clients.Hist())
+			p99, n := clients.TakeEpoch()
+			clientsServed += n
+			cfg.SLO.ObserveP99(p99, n) // no-op when the controller is off
+		}
 		if res.Incident != nil {
 			fmt.Printf("\nINCIDENT at epoch %d; %d buffered outputs discarded\n",
 				res.Incident.Epoch, sys.Controller.Buffer().Discarded())
@@ -252,6 +291,19 @@ func run() (retErr error) {
 			rp.WireBytes, rp.RawBytes, 100*rp.Reduction(),
 			rp.RawPages, rp.DeltaPages, rp.SamePages, rp.DupPages, rp.ZeroPages)
 	}
+	if clients != nil {
+		virt := sys.Controller.VirtualTime()
+		fmt.Printf("web: %d users served %d requests (%.0f req/s); p50=%v p99=%v p999=%v\n",
+			clients.Users(), clientsServed, float64(clientsServed)/virt.Seconds(),
+			time.Duration(clientHist.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(clientHist.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(clientHist.Quantile(0.999)).Round(time.Microsecond))
+	}
+	if cfg.SLO.Enabled() {
+		tun := cfg.SLO.Tunables()
+		fmt.Printf("slo: %d tuning steps; interval=%v workers=%d (detection lag %v)\n",
+			sys.Controller.SLOSteps(), tun.Interval, tun.Workers, cfg.SLO.DetectionLag())
+	}
 	return nil
 }
 
@@ -281,6 +333,7 @@ type fleetOpts struct {
 	epochs    int
 	interval  time.Duration
 	attack    string
+	slo       time.Duration
 	cfg       crimes.Config
 }
 
@@ -299,6 +352,7 @@ func runFleet(o fleetOpts) error {
 		MaxPaused:  o.maxPaused,
 		Stagger:    o.stagger,
 		Windows:    o.windows,
+		SLO:        slo.Config{TargetP99: o.slo},
 		Core:       o.cfg,
 	})
 	if err != nil {
@@ -345,6 +399,7 @@ type clusterOpts struct {
 	interval  time.Duration
 	attack    string
 	hostKill  string
+	slo       time.Duration
 	cfg       crimes.Config
 }
 
@@ -363,6 +418,7 @@ func runCluster(o clusterOpts) error {
 		MaxPausedPerHost: o.maxPaused,
 		Stagger:          o.stagger,
 		Windows:          o.windows,
+		SLO:              slo.Config{TargetP99: o.slo},
 		Core:             o.cfg,
 	})
 	if err != nil {

@@ -507,6 +507,17 @@ func (c *Checkpointer) Optimization() cost.Optimization { return c.opt }
 // Workers returns the pause-path parallelism.
 func (c *Checkpointer) Workers() int { return c.workers }
 
+// SetWorkers retunes the pause-path parallelism between epochs (values
+// below 1 force the exact serial path). An SLO controller uses this to
+// spend parallelism against the commit pause at runtime; changing it
+// mid-commit is not supported.
+func (c *Checkpointer) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.workers = n
+}
+
 // allPFNs returns the cached every-page index slice, building it on
 // first use.
 func (c *Checkpointer) allPFNs() []mem.PFN {

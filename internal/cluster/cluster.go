@@ -16,6 +16,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/hv"
 	"repro/internal/obs"
+	"repro/internal/slo"
 )
 
 // FaultHostAlive is the control plane's per-host heartbeat site. Each
@@ -59,6 +60,12 @@ type Config struct {
 	// heartbeats. Nil allocates a private injector (so KillHostAt
 	// always works).
 	Faults *fault.Injector
+	// SLO, when enabled (TargetP99 > 0), gives every VM incarnation its
+	// own tail-latency controller (see fleet.Config.SLO). A promoted
+	// replica gets a fresh controller seeded from the shared config, so
+	// failover restarts the feedback loop rather than inheriting the
+	// dead incarnation's state. The zero value changes nothing.
+	SLO slo.Config
 	// Core is the per-VM controller configuration, copied to every VM.
 	// Its PauseGate is overwritten with the VM's host gate.
 	Core core.Config
@@ -297,12 +304,32 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
-// coreCfg copies the shared controller config and points its pause
-// gate at the given host's.
+// coreCfg copies the shared controller config, points its pause gate at
+// the given host's, and — when SLO steering is on — builds the
+// incarnation's own controller instance (per-VM loop state; the gate K
+// recommendation is scoped to the host's VM count).
 func (cl *Cluster) coreCfg(h *Host) core.Config {
 	ccfg := cl.cfg.Core
 	ccfg.PauseGate = h.gate
+	if cl.cfg.SLO.TargetP99 > 0 {
+		scfg := cl.cfg.SLO
+		if scfg.VMs <= 0 {
+			scfg.VMs = cl.hostVMs(h)
+		}
+		ccfg.SLO = slo.New(scfg)
+	}
 	return ccfg
+}
+
+// hostVMs counts live VMs currently placed on h.
+func (cl *Cluster) hostVMs(h *Host) int {
+	n := 0
+	for _, vm := range cl.vms {
+		if vm.host == h {
+			n++
+		}
+	}
+	return n
 }
 
 // Hosts returns the cluster's hosts in creation order.

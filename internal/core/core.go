@@ -29,6 +29,7 @@ import (
 	"repro/internal/netbuf"
 	"repro/internal/obs"
 	"repro/internal/remus"
+	"repro/internal/slo"
 	"repro/internal/vdisk"
 	"repro/internal/vmi"
 	"repro/internal/volatility"
@@ -292,6 +293,16 @@ type Config struct {
 	// JitterSeed seeds the deterministic jitter sequence; runs with the
 	// same seed, interval, and jitter reproduce the same boundaries.
 	JitterSeed uint64
+	// SLO, when non-nil, is the per-VM tail-latency controller: after
+	// each clean epoch it reads the epoch's actual interval and priced
+	// pause (plus any externally fed client p99) and retunes
+	// EpochInterval, Workers, the scan-cache budget, and — when the
+	// PauseGate supports Resize — the gate's K for the next epoch. Each
+	// controller instance belongs to exactly one VM; fleets construct one
+	// per VM. The nil default is a strict no-op (a single nil check per
+	// epoch), so an untuned config reproduces every existing benchmark
+	// and trace bit-for-bit.
+	SLO *slo.Controller
 }
 
 func (c *Config) setDefaults() {
@@ -444,6 +455,10 @@ type coreMetrics struct {
 	// protocol is enabled so raw-mode metric dumps are unchanged.
 	remusWire, remusRaw                                            *obs.Counter
 	remusOpRaw, remusOpDelta, remusOpSame, remusOpDup, remusOpZero *obs.Counter
+
+	// SLO-controller series; registered only when a controller is
+	// configured so untuned metric dumps are unchanged.
+	sloSteps *obs.Counter
 }
 
 // New creates a controller: it initializes introspection (init +
@@ -573,8 +588,18 @@ func New(h *hv.Hypervisor, g *guestos.Guest, cfg Config) (*Controller, error) {
 			c.met.remusOpDup = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "dup")
 			c.met.remusOpZero = reg.Counter("crimes_remus_pages_total", "vm", vm, "op", "zero")
 		}
+		if cfg.SLO.Enabled() {
+			c.met.sloSteps = reg.Counter("crimes_slo_steps_total", "vm", vm)
+		}
 		c.ckpt.SetObserver(cfg.Obs, vm)
 	}
+	// Seed the SLO controller with the system's actual starting knobs so
+	// its first decision steps relative to the configured state.
+	cfg.SLO.Init(slo.Tunables{
+		Interval:   cfg.EpochInterval,
+		Workers:    cfg.Workers,
+		CachePages: cfg.ScanCacheCapacity,
+	})
 	return c, nil
 }
 
@@ -748,6 +773,10 @@ func (c *Controller) SetupTime() time.Duration { return c.setupTime }
 // Epoch returns the number of completed epochs.
 func (c *Controller) Epoch() int { return c.epoch }
 
+// SLOSteps counts the tuning decisions the SLO controller has taken; 0
+// when no controller is configured.
+func (c *Controller) SLOSteps() int { return c.cfg.SLO.Steps() }
+
 // EpochIntervalAt returns the (possibly jittered) speculative window the
 // controller will use for 1-based epoch n. Workload drivers that plan
 // sub-epoch action timing consult this; an in-guest attacker cannot —
@@ -805,6 +834,10 @@ type EpochResult struct {
 	Commit checkpoint.CommitReport
 	// VirtualTime is the controller's clock after this epoch.
 	VirtualTime time.Duration
+	// Interval is the actual speculative window this epoch ran —
+	// EpochIntervalAt's jittered value, further retuned when an SLO
+	// controller is steering.
+	Interval time.Duration
 	// Recovery describes the fault-recovery actions the controller took
 	// during the epoch (retries, degradations, the unwind path).
 	Recovery Recovery
@@ -968,6 +1001,7 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 		}
 	}
 	interval := c.cfg.EpochIntervalAt(c.epoch)
+	res.Interval = interval
 	c.virtualNow += interval
 	c.emit(obs.Event{Phase: obs.PhaseRun, DurNs: int64(interval)})
 
@@ -1238,7 +1272,44 @@ func (c *Controller) runEpoch(work func(*guestos.Guest) error) (*EpochResult, er
 	c.totalPause += res.Phases.Total()
 	c.virtualNow += res.Phases.Total()
 	res.VirtualTime = c.virtualNow
+	c.applySLO(res)
 	return res, nil
+}
+
+// applySLO folds a clean epoch into the tail-latency controller and
+// applies its decision to the next epoch's knobs: the epoch interval,
+// the pause-path worker pool (detector + checkpointer), the scan-cache
+// page budget, and the host pause gate's K when the gate supports
+// Resize. With no controller configured this is a single nil check, so
+// the untuned epoch loop is unchanged.
+func (c *Controller) applySLO(res *EpochResult) {
+	ctl := c.cfg.SLO
+	if !ctl.Enabled() {
+		return
+	}
+	tun, changed := ctl.Update(c.epoch, res.Interval, res.Phases.Total())
+	if gate, ok := c.cfg.PauseGate.(interface{ Resize(int) }); ok && tun.GateK > 0 {
+		gate.Resize(tun.GateK)
+	}
+	if !changed {
+		return
+	}
+	if tun.Interval > 0 {
+		c.cfg.EpochInterval = tun.Interval
+	}
+	if tun.Workers > 0 && tun.Workers != c.cfg.Workers {
+		c.cfg.Workers = tun.Workers
+		c.detector.SetWorkers(tun.Workers)
+		c.ckpt.SetWorkers(tun.Workers)
+	}
+	if tun.CachePages > 0 && c.scanCache != nil && tun.CachePages != c.scanCache.Cap() {
+		c.scanCache.SetCapacity(tun.CachePages)
+		c.cfg.ScanCacheCapacity = tun.CachePages
+	}
+	c.emit(obs.Event{Phase: obs.PhaseSLO, DurNs: int64(tun.Interval), Action: "retune"})
+	if c.met.sloSteps != nil {
+		c.met.sloSteps.Inc()
+	}
 }
 
 // retryOp runs op, retrying transient failures with exponential

@@ -63,6 +63,7 @@ func All() []struct {
 		{"cow", CoWComparison},
 		{"delta", DeltaWireComparison},
 		{"cluster", ClusterScaling},
+		{"webscale", WebScaleComparison},
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	for _, e := range all {
 		if _, err := ByID(e.ID); err != nil {

@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The web-sweep tests run the full capacity benchmark several
+// times over; under the race detector's ~10-20x slowdown that blows the
+// package test timeout, and the sweep is deterministic single-goroutine
+// virtual-time code the detector has nothing to say about — the
+// concurrent pause/scan/fleet paths get their own dedicated -race runs.
+const raceEnabled = true

@@ -21,6 +21,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/guestos"
 	"repro/internal/hv"
+	"repro/internal/slo"
 )
 
 // Config configures a fleet of co-located CRIMES-protected VMs.
@@ -52,6 +53,13 @@ type Config struct {
 	// gets at least one page). 0 leaves Core.ScanCacheCapacity as
 	// configured. Only meaningful when Core.ScanCache is enabled.
 	ScanCacheBudgetPages int
+	// SLO, when enabled (TargetP99 > 0), gives every VM its own
+	// tail-latency controller steering its epoch interval, pause-path
+	// workers, and scan-cache budget — and, through the shared gate's
+	// Resize, the host's concurrent-pause bound K. The config's VMs
+	// field is filled in from the fleet size. The zero value changes
+	// nothing.
+	SLO slo.Config
 	// Core is the per-VM controller configuration, copied to every VM.
 	// Its PauseGate is overwritten with the fleet's shared gate.
 	Core core.Config
@@ -208,6 +216,14 @@ func New(cfg Config) (*Fleet, error) {
 				per = 1
 			}
 			ccfg.ScanCacheCapacity = per
+		}
+		if cfg.SLO.TargetP99 > 0 {
+			// One controller per VM: the loop state is per-VM, only the
+			// gate K recommendation is host-scoped (any VM may apply it
+			// to the shared, resizable gate).
+			scfg := cfg.SLO
+			scfg.VMs = cfg.VMs
+			ccfg.SLO = slo.New(scfg)
 		}
 		ctl, err := core.New(f.hv, g, ccfg)
 		if err != nil {
@@ -382,7 +398,9 @@ type Report struct {
 // Report snapshots the fleet's current accounting.
 func (f *Fleet) Report() *Report {
 	r := &Report{
-		MaxPaused:         f.cfg.MaxPaused,
+		// The live gate width, not the configured bound: an SLO
+		// controller may have resized the gate mid-run.
+		MaxPaused:         f.gate.K(),
 		MaxPausedObserved: f.gate.Peak(),
 		Stagger:           f.cfg.Stagger,
 		Hypercalls:        f.hv.Calls(),
@@ -522,11 +540,13 @@ func (f *Fleet) Close() error {
 // holders at once, tracking the observed peak for verification. It is
 // exported so per-host schedulers outside this package (the cluster
 // control plane) can bound their own pause windows with the same gate
-// the fleet uses.
+// the fleet uses. K is resizable at runtime (an SLO controller retunes
+// it as pause lengths change), so the gate is a mutex+condvar semaphore
+// rather than a fixed-capacity channel.
 type PauseGate struct {
-	slots chan struct{}
-
 	mu   sync.Mutex
+	cond *sync.Cond
+	k    int
 	cur  int
 	peak int
 }
@@ -537,13 +557,17 @@ func NewPauseGate(k int) *PauseGate {
 	if k < 1 {
 		k = 1
 	}
-	return &PauseGate{slots: make(chan struct{}, k)}
+	g := &PauseGate{k: k}
+	g.cond = sync.NewCond(&g.mu)
+	return g
 }
 
 // Acquire blocks until a pause slot is free.
 func (g *PauseGate) Acquire() {
-	g.slots <- struct{}{}
 	g.mu.Lock()
+	for g.cur >= g.k {
+		g.cond.Wait()
+	}
 	g.cur++
 	if g.cur > g.peak {
 		g.peak = g.cur
@@ -556,7 +580,31 @@ func (g *PauseGate) Release() {
 	g.mu.Lock()
 	g.cur--
 	g.mu.Unlock()
-	<-g.slots
+	g.cond.Signal()
+}
+
+// Resize rebounds the gate at k concurrent holders (minimum 1). A
+// shrink never evicts current holders — it only stops admitting new
+// ones until the count drains below the new bound; a grow wakes any
+// waiters the freed slots can now admit.
+func (g *PauseGate) Resize(k int) {
+	if k < 1 {
+		k = 1
+	}
+	g.mu.Lock()
+	grew := k > g.k
+	g.k = k
+	g.mu.Unlock()
+	if grew {
+		g.cond.Broadcast()
+	}
+}
+
+// K reports the gate's current slot bound.
+func (g *PauseGate) K() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.k
 }
 
 // Peak reports the most holders ever concurrent.

@@ -110,6 +110,24 @@ func NewCachedMapping(d *Domain, capacity int) *CachedMapping {
 // Cap returns the cache's mapping capacity in pages.
 func (cm *CachedMapping) Cap() int { return cm.cap }
 
+// SetCapacity rebounds the cache at capacity pages (clamped to [1,
+// domain size]). Shrinking below the live mapping count evicts from the
+// LRU tail immediately, paying the UnmapPage hypercalls; growing takes
+// effect lazily as new pages map in. An SLO controller uses this to
+// trade host mapping budget against audit latency at runtime.
+func (cm *CachedMapping) SetCapacity(capacity int) {
+	if capacity < 1 || capacity > cm.dom.Pages() {
+		capacity = cm.dom.Pages()
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.cap = capacity
+	for cm.lru.Len() > cm.cap {
+		cm.evictLocked(cm.lru.Back())
+		cm.stats.Evictions++
+	}
+}
+
 // Len reports the number of currently cached mappings.
 func (cm *CachedMapping) Len() int {
 	cm.mu.Lock()

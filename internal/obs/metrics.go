@@ -92,6 +92,90 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration-like value given in nanoseconds.
 func (h *Histogram) ObserveDuration(ns int64) { h.Observe(float64(ns)) }
 
+// ObserveN records n identical observations of v in one step. Aggregated
+// load generators use this to fold a whole batch of same-latency
+// requests into the histogram without n lock round-trips.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i] += n
+	h.sum += v * float64(n)
+	h.count += n
+	h.mu.Unlock()
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding the rank-ceil(q*count) observation. Reporting the
+// bound, not an interpolation, keeps the value deterministic and
+// byte-stable: two histograms with the same bucket counts always report
+// the same quantile, regardless of how values were ordered. Ranks that
+// land in the trailing +Inf bucket report the largest finite bound (the
+// histogram cannot resolve beyond it); an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge folds o's observations into h. The two histograms must share
+// identical bucket bounds; hosts use this to aggregate per-VM latency
+// histograms into one fleet-wide distribution whose quantiles stay
+// deterministic. Merging a histogram with different bounds panics: the
+// sum of differently-bucketed histograms has no well-defined quantiles.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	bounds := append([]float64(nil), o.bounds...)
+	buckets := append([]uint64(nil), o.buckets...)
+	sum, count := o.sum, o.count
+	o.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(bounds) != len(h.bounds) {
+		panic("obs: Merge: mismatched histogram bounds")
+	}
+	for i, b := range bounds {
+		if b != h.bounds[i] {
+			panic("obs: Merge: mismatched histogram bounds")
+		}
+	}
+	for i, c := range buckets {
+		h.buckets[i] += c
+	}
+	h.sum += sum
+	h.count += count
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -123,6 +207,17 @@ func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 	bounds = append([]float64(nil), h.bounds...)
 	counts = append([]uint64(nil), h.buckets...)
 	return bounds, counts
+}
+
+// NewHistogram builds a standalone fixed-bucket histogram over the
+// given sorted upper bounds (a trailing +Inf bucket is implicit). Use
+// this outside a Registry — e.g. the web load generator's latency
+// distributions — when the histogram is an analysis structure rather
+// than an exported metric.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]uint64, len(b)+1)}
 }
 
 // ExpBuckets returns n exponentially spaced bucket bounds starting at

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Exact quantile values on a known bucket fill: 100 observations spread
+// over four buckets so every rank boundary is predictable. Quantiles
+// report the upper bound of the bucket holding rank ceil(q*count).
+func TestHistogramQuantileExact(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000, 10000})
+	// 50 obs in (<=10], 39 in (<=100], 10 in (<=1000], 1 in (<=10000].
+	h.ObserveN(5, 50)
+	h.ObserveN(50, 39)
+	h.ObserveN(500, 10)
+	h.ObserveN(5000, 1)
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 10},     // rank 50 is the last observation in the first bucket
+		{0.51, 100},    // rank 51 spills into the second bucket
+		{0.89, 100},    // rank 89 is the last of the second bucket
+		{0.99, 1000},   // rank 99 is the last of the third bucket
+		{0.999, 10000}, // rank 100 (ceil) is the single tail observation
+		{1.0, 10000},
+		{0.0, 10},  // rank clamps to 1: the first observation
+		{-0.5, 10}, // out-of-range q clamps
+		{1.5, 10000},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Quantile is monotonically non-decreasing in q for arbitrary fills.
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 12))
+	// A deterministic but irregular fill touching many buckets.
+	v := 1.0
+	for i := 1; i <= 40; i++ {
+		h.ObserveN(v, uint64(i*7%13+1))
+		v *= 1.37
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < previous %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// The empty histogram reports 0 for every quantile; so does the nil
+// histogram (the package-wide no-op contract).
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil Quantile(0.99) = %v, want 0", got)
+	}
+}
+
+// Observations past the last finite bound land in the +Inf bucket, and
+// quantiles there saturate at the largest finite bound.
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.ObserveN(100, 10) // all in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow Quantile(0.99) = %v, want 2 (largest finite bound)", got)
+	}
+}
+
+// Merge sums bucket counts so merged quantiles equal the quantiles of
+// the combined observation stream; mismatched bounds panic.
+func TestHistogramMerge(t *testing.T) {
+	bounds := ExpBuckets(1, 10, 6)
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	whole := NewHistogram(bounds)
+	for i, v := range []float64{0.5, 3, 3, 70, 800, 800, 9000, 200000} {
+		dst := a
+		if i%2 == 1 {
+			dst = b
+		}
+		dst.Observe(v)
+		whole.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() {
+		t.Fatalf("merged count/sum = %d/%v, want %d/%v", a.Count(), a.Sum(), whole.Count(), whole.Sum())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merged Quantile(%v) = %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Merge with mismatched bounds did not panic")
+		}
+	}()
+	a.Merge(NewHistogram([]float64{1, 2, 3}))
+}

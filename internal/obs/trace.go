@@ -43,6 +43,9 @@ const (
 	// backup host.
 	PhaseHostDown Phase = "hostdown"
 	PhasePromote  Phase = "promote"
+	// PhaseSLO marks a tail-latency controller decision: the event's
+	// DurNs carries the new epoch interval and Action the knob moved.
+	PhaseSLO Phase = "slo"
 )
 
 // Hypercalls is a per-event hypercall delta attribution. The fields

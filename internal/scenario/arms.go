@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/slo"
 
 	crimes "repro"
 )
@@ -89,6 +90,20 @@ var arms = []Arm{
 		Name:  "remus-dedup",
 		Desc:  "remote replication on the v2 delta+dedup wire",
 		Apply: func(cfg *crimes.Config) { cfg.Remus = crimes.RemusDeltaDedup },
+	},
+	{
+		Name: "slo-adaptive",
+		Desc: "tail-latency controller steering interval and workers",
+		Apply: func(cfg *crimes.Config) {
+			// The target sits just under the pause proxy (4x a ~2.8 ms
+			// commit pause), so the controller visibly steers — first
+			// spending workers, then stretching the interval — while the
+			// audit modules stay untouched.
+			cfg.SLO = slo.New(slo.Config{
+				TargetP99:  8 * time.Millisecond,
+				MaxWorkers: 4,
+			})
+		},
 	},
 	{
 		Name:    "cluster",

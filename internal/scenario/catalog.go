@@ -141,6 +141,22 @@ func Catalog() []Scenario {
 	}
 	list = append(list,
 		Scenario{
+			Name: "overflow-slo-adaptive", Family: "overflow", Workload: "swaptions", Arm: "slo-adaptive",
+			Epochs:  4,
+			Actions: []Action{overflowAct(3, 0.5)},
+			Expect: Expectation{Outcome: OutcomeDetected, ByEpoch: 3,
+				Kinds: []detect.Kind{detect.KindBufferOverflow}},
+			Verify: func(rc *RunContext) error {
+				if rc.Sys.Controller.SLOSteps() == 0 {
+					return fmt.Errorf("SLO controller never steered: the cell must prove detection is unchanged while tuning is active")
+				}
+				return nil
+			},
+			Notes: "the SLO controller retunes workers and interval mid-run, yet detection " +
+				"lands at the same epoch with the same findings: steering trades latency " +
+				"for overhead, never for evidence",
+		},
+		Scenario{
 			Name: "overflow-epoch0", Family: "overflow", Workload: "raytrace", Arm: "baseline",
 			Epochs:  3,
 			Actions: []Action{overflowAct(0, 0.5)}, // clamps to epoch 1

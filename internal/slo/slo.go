@@ -1,0 +1,323 @@
+// Package slo is the online tail-latency controller: a deterministic
+// feedback loop that reads each epoch's client-observed p99 (or, absent
+// a latency feed, a pause-derived proxy) and tunes the protection knobs
+// — epoch interval, pause-path Workers, PauseGate K, and the scan-cache
+// page budget — to hold a p99 target at minimum detection lag.
+//
+// Detection lag is the time from an attack's first write to the audit
+// that catches it, bounded by the epoch interval; tail latency is driven
+// by the pause each epoch boundary inserts. The controller resolves the
+// tension in a fixed preference order: when the SLO is violated it first
+// spends resources that cost no lag (more pause-path workers, a bigger
+// scan-cache budget), and only then stretches the interval; when there
+// is slack it shortens the interval back toward the minimum, never
+// below. It can therefore trade overhead for lag but can never tune
+// detection off: the interval is clamped to [MinInterval, MaxInterval]
+// and the audit modules are untouched.
+//
+// Every decision is a pure function of the observed samples — hysteresis
+// deadband, patience counters, clamped steps, no wall-clock or random
+// inputs — so runs in virtual time are bit-for-bit reproducible, which
+// is what lets BENCH_web.json sit under the CI drift gate.
+package slo
+
+import "time"
+
+// Config parameterizes the controller. The zero value (TargetP99 == 0)
+// disables it entirely: New returns nil and the nil *Controller is an
+// inert no-op, so a zero-value core.Config reproduces the untuned path
+// bit-for-bit.
+type Config struct {
+	// TargetP99 is the client-observed p99 latency objective; 0
+	// disables the controller.
+	TargetP99 time.Duration
+	// Band is the hysteresis deadband as a fraction of TargetP99:
+	// samples within [target*(1-Band), target*(1+Band)] trigger no
+	// action. Default 0.25.
+	Band float64
+	// TightenBand optionally widens the deadband downward: samples above
+	// target*(1-TightenBand) never count as reclaimable slack. Loosening
+	// (SLO defense) and tightening (lag buyback) can then use different
+	// thresholds — tightening should be the more conservative of the
+	// two, since a premature step back re-violates the SLO and the loop
+	// ping-pongs. Defaults to Band (symmetric deadband).
+	TightenBand float64
+	// Patience is how many consecutive above-band epochs are required
+	// before loosening; tightening (which costs tail headroom) waits
+	// twice as long. Default 2.
+	Patience int
+	// MinInterval and MaxInterval clamp the epoch interval — the
+	// detection-lag floor the operator insists on and the lag ceiling
+	// they will tolerate. Defaults 50ms and 800ms.
+	MinInterval, MaxInterval time.Duration
+	// IntervalStep is the per-decision interval adjustment. Default 50ms.
+	IntervalStep time.Duration
+	// MaxWorkers caps the pause-path parallelism the controller may
+	// spend. Default 4.
+	MaxWorkers int
+	// MaxCachePages caps the scan-cache budget; 0 leaves the cache
+	// budget alone entirely.
+	MaxCachePages int
+	// VMs is the number of co-located VMs sharing the host's pause
+	// gate; the controller sizes K so staggered boundaries do not back
+	// up behind the gate. 0 means single-VM (no gate recommendation).
+	VMs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Band <= 0 {
+		c.Band = 0.25
+	}
+	if c.TightenBand <= 0 {
+		c.TightenBand = c.Band
+	}
+	if c.Patience <= 0 {
+		c.Patience = 2
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = 50 * time.Millisecond
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 800 * time.Millisecond
+	}
+	if c.MaxInterval < c.MinInterval {
+		c.MaxInterval = c.MinInterval
+	}
+	if c.IntervalStep <= 0 {
+		c.IntervalStep = 50 * time.Millisecond
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 4
+	}
+	return c
+}
+
+// Tunables is the knob vector the controller outputs. Zero fields mean
+// "leave that knob alone".
+type Tunables struct {
+	// Interval is the epoch interval (detection lag bound).
+	Interval time.Duration
+	// Workers is the pause-path parallelism.
+	Workers int
+	// GateK bounds concurrent pauses on the host (fleet/cluster only).
+	GateK int
+	// CachePages is the scan-cache page budget.
+	CachePages int
+}
+
+// Controller is the per-VM feedback loop. It is not safe for concurrent
+// use; a fleet gives every VM its own instance. The nil controller is
+// disabled and every method on it is a no-op.
+type Controller struct {
+	cfg Config
+	cur Tunables
+
+	lastP99   time.Duration
+	lastCount uint64
+	fed       bool
+
+	hi, lo int
+	steps  int
+}
+
+// New builds a controller, or nil when cfg.TargetP99 is zero — the nil
+// controller is the documented "off" state.
+func New(cfg Config) *Controller {
+	if cfg.TargetP99 <= 0 {
+		return nil
+	}
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Enabled reports whether the controller is live. Safe on nil.
+func (c *Controller) Enabled() bool { return c != nil && c.cfg.TargetP99 > 0 }
+
+// Init seeds the current tunables from the host system's actual
+// configuration (the controller steps relative to these). Called once
+// by core.New; later calls are ignored.
+func (c *Controller) Init(t Tunables) {
+	if c == nil || c.cur.Interval != 0 {
+		return
+	}
+	if t.Interval < c.cfg.MinInterval {
+		t.Interval = c.cfg.MinInterval
+	}
+	if t.Interval > c.cfg.MaxInterval {
+		t.Interval = c.cfg.MaxInterval
+	}
+	if t.Workers < 1 {
+		t.Workers = 1
+	}
+	c.cur = t
+}
+
+// ObserveP99 feeds the latest client-observed p99 over n requests. The
+// load generator (or any external latency source) calls this between
+// epochs; the next Update decides on it. Without a feed, Update falls
+// back to a pause-derived proxy.
+func (c *Controller) ObserveP99(p99 time.Duration, n uint64) {
+	if c == nil {
+		return
+	}
+	c.lastP99, c.lastCount, c.fed = p99, n, true
+}
+
+// Tunables returns the current knob vector. Safe on nil (zero value).
+func (c *Controller) Tunables() Tunables {
+	if c == nil {
+		return Tunables{}
+	}
+	return c.cur
+}
+
+// DetectionLag is the controller's current worst-case detection lag:
+// the epoch interval it is holding.
+func (c *Controller) DetectionLag() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.cur.Interval
+}
+
+// Steps counts tuning decisions taken so far.
+func (c *Controller) Steps() int {
+	if c == nil {
+		return 0
+	}
+	return c.steps
+}
+
+// Update folds one completed epoch into the loop and returns the knob
+// vector to apply to the next epoch, with changed=true when it moved.
+// interval and pause are the epoch's actual speculative window and
+// priced pause. The decision uses the externally fed p99 when present;
+// otherwise it falls back to a pause-derived proxy (4x the pause: a
+// request landing in the pause waits the pause plus the backlog drain
+// behind it, so the pause understates the client tail by a small
+// factor). Deterministic: same sample sequence, same decisions.
+func (c *Controller) Update(epoch int, interval, pause time.Duration) (Tunables, bool) {
+	if !c.Enabled() {
+		return Tunables{}, false
+	}
+	if c.cur.Interval == 0 {
+		c.Init(Tunables{Interval: interval, Workers: 1})
+	}
+	signal := c.lastP99
+	if !c.fed {
+		signal = 4 * pause
+	}
+	c.fed = false
+
+	target := c.cfg.TargetP99
+	hiEdge := target + time.Duration(float64(target)*c.cfg.Band)
+	loEdge := target - time.Duration(float64(target)*c.cfg.TightenBand)
+	switch {
+	case signal > hiEdge:
+		c.hi++
+		c.lo = 0
+	case signal < loEdge:
+		c.lo++
+		c.hi = 0
+	default:
+		c.hi, c.lo = 0, 0
+	}
+
+	changed := false
+	switch {
+	case c.hi >= c.cfg.Patience:
+		// SLO violated: loosen, cheapest-lag-cost knob first.
+		changed = c.loosen()
+		c.hi, c.lo = 0, 0
+	case c.lo >= 2*c.cfg.Patience:
+		// Sustained slack: buy back detection lag.
+		changed = c.tighten()
+		c.hi, c.lo = 0, 0
+	}
+	if k := c.recommendGateK(pause); k != c.cur.GateK {
+		c.cur.GateK = k
+		changed = true
+	}
+	if changed {
+		c.steps++
+	}
+	return c.cur, changed
+}
+
+// loosen spends overhead to pull the tail under target: workers, then
+// scan-cache budget (both lag-free), then the interval (which costs
+// detection lag and is therefore last).
+func (c *Controller) loosen() bool {
+	if c.cur.Workers < c.cfg.MaxWorkers {
+		c.cur.Workers *= 2
+		if c.cur.Workers > c.cfg.MaxWorkers {
+			c.cur.Workers = c.cfg.MaxWorkers
+		}
+		return true
+	}
+	if c.cfg.MaxCachePages > 0 && c.cur.CachePages < c.cfg.MaxCachePages {
+		next := c.cur.CachePages * 2
+		if next == 0 {
+			next = c.cfg.MaxCachePages / 4
+		}
+		if next > c.cfg.MaxCachePages || next <= 0 {
+			next = c.cfg.MaxCachePages
+		}
+		c.cur.CachePages = next
+		return true
+	}
+	if c.cur.Interval < c.cfg.MaxInterval {
+		c.cur.Interval += c.cfg.IntervalStep
+		if c.cur.Interval > c.cfg.MaxInterval {
+			c.cur.Interval = c.cfg.MaxInterval
+		}
+		return true
+	}
+	return false
+}
+
+// tighten shortens the interval toward the minimum detection lag. It
+// never reduces workers or the cache budget: those cost no lag, and
+// giving them back only re-risks the SLO.
+func (c *Controller) tighten() bool {
+	if c.cur.Interval > c.cfg.MinInterval {
+		c.cur.Interval -= c.cfg.IntervalStep
+		if c.cur.Interval < c.cfg.MinInterval {
+			c.cur.Interval = c.cfg.MinInterval
+		}
+		return true
+	}
+	return false
+}
+
+// recommendGateK sizes the host pause gate for cfg.VMs co-located VMs:
+// enough slots that the aggregate pause demand per cycle fits without
+// boundaries backing up (demand = VMs*pause out of every interval+pause
+// of wall time, plus one slot of headroom), clamped to [1, VMs].
+func (c *Controller) recommendGateK(pause time.Duration) int {
+	if c.cfg.VMs <= 1 {
+		return 0
+	}
+	return RecommendGateK(c.cfg.VMs, pause, c.cur.Interval)
+}
+
+// RecommendGateK is the gate-sizing rule as a standalone deterministic
+// function: ceil(vms*pause / (interval+pause)) + 1 headroom slot,
+// clamped to [1, vms].
+func RecommendGateK(vms int, pause, interval time.Duration) int {
+	if vms <= 1 {
+		return 1
+	}
+	cycle := interval + pause
+	if cycle <= 0 {
+		return 1
+	}
+	demand := time.Duration(vms) * pause
+	k := int((demand+cycle-1)/cycle) + 1
+	if k < 1 {
+		k = 1
+	}
+	if k > vms {
+		k = vms
+	}
+	return k
+}

@@ -1,0 +1,192 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestZeroConfigIsOff(t *testing.T) {
+	if c := New(Config{}); c != nil {
+		t.Fatalf("New(zero) = %v, want nil (controller off)", c)
+	}
+	var c *Controller
+	if c.Enabled() {
+		t.Fatal("nil controller reports enabled")
+	}
+	if tun, changed := c.Update(1, 200*ms, 4*ms); changed || tun != (Tunables{}) {
+		t.Fatalf("nil Update = %v, %v; want zero, false", tun, changed)
+	}
+	c.ObserveP99(time.Second, 10) // must not panic
+	if c.DetectionLag() != 0 || c.Steps() != 0 {
+		t.Fatal("nil controller leaked state")
+	}
+}
+
+// Sustained SLO violation loosens in the documented preference order:
+// workers first (no lag cost), then the interval, clamped at MaxInterval.
+func TestLoosenPreferenceOrderAndClamp(t *testing.T) {
+	c := New(Config{TargetP99: 10 * ms, Patience: 2, MaxWorkers: 4,
+		MinInterval: 100 * ms, MaxInterval: 300 * ms, IntervalStep: 100 * ms})
+	c.Init(Tunables{Interval: 200 * ms, Workers: 1})
+
+	var last Tunables
+	for e := 1; e <= 20; e++ {
+		c.ObserveP99(50*ms, 1000) // far above target every epoch
+		last, _ = c.Update(e, c.cur.Interval, 4*ms)
+	}
+	if last.Workers != 4 {
+		t.Errorf("workers = %d, want saturated at 4", last.Workers)
+	}
+	if last.Interval != 300*ms {
+		t.Errorf("interval = %v, want clamped at MaxInterval 300ms", last.Interval)
+	}
+	// Workers must have saturated before the interval moved: replay and
+	// find the first interval step.
+	c2 := New(Config{TargetP99: 10 * ms, Patience: 2, MaxWorkers: 4,
+		MinInterval: 100 * ms, MaxInterval: 300 * ms, IntervalStep: 100 * ms})
+	c2.Init(Tunables{Interval: 200 * ms, Workers: 1})
+	for e := 1; e <= 20; e++ {
+		c2.ObserveP99(50*ms, 1000)
+		tun, changed := c2.Update(e, c2.cur.Interval, 4*ms)
+		if changed && tun.Interval > 200*ms && tun.Workers < 4 {
+			t.Fatalf("epoch %d: interval stretched to %v before workers saturated (%d)",
+				e, tun.Interval, tun.Workers)
+		}
+	}
+}
+
+// Sustained slack tightens the interval back toward MinInterval — the
+// minimum-detection-lag objective — and never below it.
+func TestTightenTowardMinInterval(t *testing.T) {
+	c := New(Config{TargetP99: 10 * ms, Patience: 1, MaxWorkers: 1,
+		MinInterval: 100 * ms, MaxInterval: 400 * ms, IntervalStep: 100 * ms})
+	c.Init(Tunables{Interval: 400 * ms, Workers: 1})
+	for e := 1; e <= 30; e++ {
+		c.ObserveP99(1*ms, 1000) // far below target
+		c.Update(e, c.cur.Interval, 1*ms)
+	}
+	if c.DetectionLag() != 100*ms {
+		t.Fatalf("detection lag = %v, want MinInterval 100ms", c.DetectionLag())
+	}
+}
+
+// Samples inside the hysteresis band cause no movement, and a single
+// out-of-band epoch (below patience) does not either.
+func TestHysteresisAndPatience(t *testing.T) {
+	c := New(Config{TargetP99: 10 * ms, Band: 0.25, Patience: 2,
+		MinInterval: 50 * ms, MaxInterval: 400 * ms})
+	c.Init(Tunables{Interval: 200 * ms, Workers: 2})
+	for e := 1; e <= 10; e++ {
+		c.ObserveP99(11*ms, 1000) // inside the +-25% band
+		if tun, changed := c.Update(e, 200*ms, 2*ms); changed || tun.Interval != 200*ms || tun.Workers != 2 {
+			t.Fatalf("epoch %d: in-band sample moved knobs: %+v changed=%v", e, tun, changed)
+		}
+	}
+	// One spike, then back in band: patience=2 must swallow it.
+	c.ObserveP99(50*ms, 1000)
+	if _, changed := c.Update(11, 200*ms, 2*ms); changed {
+		t.Fatal("single out-of-band epoch acted below patience")
+	}
+	c.ObserveP99(11*ms, 1000)
+	if _, changed := c.Update(12, 200*ms, 2*ms); changed {
+		t.Fatal("spike followed by in-band sample still acted")
+	}
+}
+
+// TightenBand widens the deadband downward only: a sample that would
+// tighten under the symmetric band is swallowed, while the loosen edge
+// is unchanged. This is the anti-ping-pong knob: when the plant's p99
+// quantizes to coarse levels, the level just under target must not read
+// as reclaimable slack.
+func TestAsymmetricTightenBand(t *testing.T) {
+	mk := func(tighten float64) *Controller {
+		c := New(Config{TargetP99: 10 * ms, Band: 0.1, TightenBand: tighten,
+			Patience: 1, MaxWorkers: 1, MinInterval: 100 * ms, MaxInterval: 400 * ms,
+			IntervalStep: 100 * ms})
+		c.Init(Tunables{Interval: 400 * ms, Workers: 1})
+		return c
+	}
+	// 8.5ms is below the symmetric 10%-band edge (9ms) but above the
+	// widened 20% tighten edge (8ms).
+	sym := mk(0)
+	for e := 1; e <= 10; e++ {
+		sym.ObserveP99(8500*time.Microsecond, 1000)
+		sym.Update(e, sym.cur.Interval, 1*ms)
+	}
+	if sym.DetectionLag() == 400*ms {
+		t.Fatal("symmetric band never tightened on below-band samples")
+	}
+	asym := mk(0.2)
+	for e := 1; e <= 10; e++ {
+		asym.ObserveP99(8500*time.Microsecond, 1000)
+		if _, changed := asym.Update(e, asym.cur.Interval, 1*ms); changed {
+			t.Fatalf("epoch %d: sample inside widened tighten band moved knobs", e)
+		}
+	}
+	// Deep slack still tightens, and violations still loosen at the
+	// unchanged upper edge.
+	asym.ObserveP99(1*ms, 1000)
+	asym.Update(11, asym.cur.Interval, 1*ms)
+	asym.ObserveP99(1*ms, 1000)
+	if _, changed := asym.Update(12, asym.cur.Interval, 1*ms); !changed {
+		t.Fatal("deep slack did not tighten under TightenBand")
+	}
+}
+
+// The same sample sequence always produces the same decision sequence.
+func TestDeterministic(t *testing.T) {
+	run := func() []Tunables {
+		c := New(Config{TargetP99: 8 * ms, VMs: 8})
+		c.Init(Tunables{Interval: 200 * ms, Workers: 1})
+		var out []Tunables
+		p99s := []time.Duration{20 * ms, 22 * ms, 19 * ms, 7 * ms, 6 * ms, 2 * ms, 2 * ms, 2 * ms, 2 * ms, 30 * ms, 31 * ms}
+		for e, p := range p99s {
+			c.ObserveP99(p, 500)
+			tun, _ := c.Update(e+1, c.cur.Interval, 3*ms)
+			out = append(out, tun)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Without a latency feed the controller steers on the pause proxy: a
+// pause blowout still loosens the knobs.
+func TestPauseProxyFallback(t *testing.T) {
+	c := New(Config{TargetP99: 10 * ms, Patience: 2, MaxWorkers: 4})
+	c.Init(Tunables{Interval: 200 * ms, Workers: 1})
+	var last Tunables
+	for e := 1; e <= 4; e++ {
+		last, _ = c.Update(e, 200*ms, 20*ms) // proxy = 80ms >> 10ms target
+	}
+	if last.Workers <= 1 {
+		t.Fatalf("pause proxy did not loosen: workers = %d", last.Workers)
+	}
+}
+
+func TestRecommendGateK(t *testing.T) {
+	cases := []struct {
+		vms             int
+		pause, interval time.Duration
+		want            int
+	}{
+		{1, 4 * ms, 200 * ms, 1},
+		{8, 4 * ms, 200 * ms, 2},    // demand 32ms/204ms -> 1 + headroom
+		{64, 4 * ms, 200 * ms, 3},   // demand 256ms/204ms -> 2 + headroom
+		{64, 50 * ms, 100 * ms, 23}, // heavy pause load: ceil(3200/150)+1
+		{4, 0, 200 * ms, 1},
+	}
+	for _, tc := range cases {
+		if got := RecommendGateK(tc.vms, tc.pause, tc.interval); got != tc.want {
+			t.Errorf("RecommendGateK(%d, %v, %v) = %d, want %d",
+				tc.vms, tc.pause, tc.interval, got, tc.want)
+		}
+	}
+}

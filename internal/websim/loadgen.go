@@ -1,0 +1,482 @@
+package websim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Gen is the production-scale closed-loop load generator. Instead of
+// one heap event per in-flight request (O(users) state), it collapses
+// millions of users into per-class aggregate cohorts:
+//
+//   - a timing wheel per class holds *counts* of users whose think time
+//     expires in each future window (O(wheel slots), independent of the
+//     user count);
+//   - the server is a FIFO of (arrival tick, class, count) batches with
+//     a nanosecond service budget per tick, so queueing and backlog
+//     drain after a pause are modelled exactly with integer arithmetic;
+//   - completed batches fold into fixed-bucket log-scale latency
+//     histograms (obs.Histogram), so p50/p99/p999 are streaming,
+//     deterministic, and byte-stable.
+//
+// The driver pushes the VM's real protection timeline through Run and
+// Pause (see schedule.go for building timelines from controller runs);
+// the generator never sees wall-clock time or randomness, so identical
+// inputs reproduce identical percentiles bit for bit.
+type Gen struct {
+	p       GenParams
+	tickNs  int64
+	nowNs   int64
+	tick    int64 // index of the tick currently accumulating
+	classes []classState
+
+	queue    []batch // FIFO ring of queued request batches
+	qHead    int
+	qLen     int
+	queued   int64
+	budgetNs int64
+
+	pending  []batch // buffered mode: served, awaiting release at pause end
+	pendingN int64
+
+	win  *obs.Histogram // since the last TakeEpoch (SLO feedback window)
+	meas *obs.Histogram // since the last ResetMeasure (reported stats)
+
+	offered    int64
+	completed  int64
+	peakQueued int64
+
+	measStartNs   int64
+	measOffered   int64
+	measCompleted int64
+}
+
+// Class is one cohort of identical closed-loop users: each sends a
+// request, waits for the response, thinks for Think, and repeats.
+type Class struct {
+	Name string
+	// Users is the cohort population.
+	Users int64
+	// Think is the per-user delay between a response and the next
+	// request.
+	Think time.Duration
+	// Service is the server time one request of this class consumes.
+	Service time.Duration
+}
+
+// GenParams configures a generator for one VM's user population.
+type GenParams struct {
+	Classes []Class
+	// Buffered selects Synchronous Safety: responses completed during
+	// an epoch are held and released at the end of the next pause.
+	// Best Effort (false) delivers immediately — epoch pauses then
+	// surface as tail latency rather than as a baseline shift.
+	Buffered bool
+	// Tick is the simulation quantum (default 100µs). Latency
+	// resolution is one tick.
+	Tick time.Duration
+	// Buckets are the latency histogram bounds in nanoseconds
+	// (default LatencyBuckets).
+	Buckets []float64
+}
+
+// LatencyBuckets are the default log-scale latency bounds: 100µs to
+// ~29s at 15% relative resolution. Shared by every generator so per-VM
+// histograms merge into host-level distributions.
+func LatencyBuckets() []float64 { return obs.ExpBuckets(1e5, 1.15, 90) }
+
+// DefaultClasses is the heavy-tailed three-class request mix scaled to
+// a total user count: mostly cheap static-page fetches, a slice of
+// heavier API calls, and a thin tail of expensive search requests. At
+// 1M users the offered load is ~9.1k req/s against the 17.1k req/s
+// baseline server, i.e. ~74% utilization.
+func DefaultClasses(users int64) []Class {
+	static := users * 88 / 100
+	api := users * 10 / 100
+	search := users - static - api
+	return []Class{
+		{Name: "static", Users: static, Think: 120 * time.Second, Service: 50 * time.Microsecond},
+		{Name: "api", Users: api, Think: 60 * time.Second, Service: 150 * time.Microsecond},
+		{Name: "search", Users: search, Think: 240 * time.Second, Service: 1500 * time.Microsecond},
+	}
+}
+
+// batch is a cohort of identical requests moving through the system
+// together: n requests of one class that arrived in the same tick.
+type batch struct {
+	tick  int64
+	class int32
+	n     int64
+}
+
+// dripShift is the fixed-point fraction width used to spread a wheel
+// window's arrivals evenly across its ticks.
+const dripShift = 20
+
+// classState is the per-class aggregate: all O(state) here is sized by
+// wheel geometry (think time / stride), never by the user count.
+type classState struct {
+	serviceNs  int64
+	thinkTicks int64
+	stride     int64   // wheel granularity, in ticks
+	wheel      []int64 // users re-arriving per future stride window
+	window     int64   // users arriving within the current window
+	dripped    int64   // of window, already released to the queue
+	dripFP     int64   // per-tick release rate, fixed point
+	dripAcc    int64
+}
+
+// NewGen validates the parameters and seeds the initial population:
+// each cohort's users are spread uniformly across one think time, the
+// steady state of a closed loop that has been running forever.
+func NewGen(p GenParams) (*Gen, error) {
+	if p.Tick <= 0 {
+		p.Tick = 100 * time.Microsecond
+	}
+	if len(p.Buckets) == 0 {
+		p.Buckets = LatencyBuckets()
+	}
+	if len(p.Classes) == 0 {
+		return nil, fmt.Errorf("websim: %w: no classes", ErrBadParams)
+	}
+	g := &Gen{
+		p:      p,
+		tickNs: int64(p.Tick),
+		win:    obs.NewHistogram(p.Buckets),
+		meas:   obs.NewHistogram(p.Buckets),
+	}
+	// Slack windows past one think time absorb delivery delays (queue
+	// wait, pauses, buffered release) before a user re-enters the
+	// wheel; the wheel grows on demand if a delay ever exceeds it.
+	const slack = 2 * time.Second
+	for _, c := range p.Classes {
+		if c.Users < 0 || c.Service <= 0 || c.Think < p.Tick {
+			return nil, fmt.Errorf("websim: %w: class %q", ErrBadParams, c.Name)
+		}
+		cs := classState{
+			serviceNs:  int64(c.Service),
+			thinkTicks: int64(c.Think / p.Tick),
+		}
+		cs.stride = cs.thinkTicks / 2048
+		if cs.stride < 1 {
+			cs.stride = 1
+		}
+		thinkWindows := (cs.thinkTicks + cs.stride - 1) / cs.stride
+		slackWindows := (int64(slack/p.Tick) + cs.stride - 1) / cs.stride
+		cs.wheel = make([]int64, thinkWindows+slackWindows+2)
+		// Seed: Users spread across the first thinkWindows windows.
+		share := c.Users / thinkWindows
+		rem := c.Users - share*thinkWindows
+		for w := int64(0); w < thinkWindows; w++ {
+			n := share
+			if w < rem {
+				n++
+			}
+			cs.wheel[w%int64(len(cs.wheel))] += n
+		}
+		g.classes = append(g.classes, cs)
+	}
+	return g, nil
+}
+
+// Users returns the total simulated population.
+func (g *Gen) Users() int64 {
+	var t int64
+	for _, c := range g.p.Classes {
+		t += c.Users
+	}
+	return t
+}
+
+// Now is the generator's virtual clock.
+func (g *Gen) Now() time.Duration { return time.Duration(g.nowNs) }
+
+// Run advances the simulation by d with the server executing: the
+// server earns service budget, queued requests complete, users think
+// and send.
+func (g *Gen) Run(d time.Duration) { g.advance(int64(d), true) }
+
+// Pause advances the simulation by d with the VM paused for its
+// checkpoint: users keep sending (they are outside the VM) but nothing
+// is served, so a backlog builds and drains after resume — the tail
+// spike protection costs. In buffered mode the pause end is the release
+// point for every response completed since the previous release.
+func (g *Gen) Pause(d time.Duration) {
+	g.advance(int64(d), false)
+	if g.p.Buffered {
+		g.release()
+	}
+}
+
+func (g *Gen) advance(d int64, running bool) {
+	for d > 0 {
+		tickEnd := (g.tick + 1) * g.tickNs
+		step := tickEnd - g.nowNs
+		if step > d {
+			step = d
+		}
+		if running {
+			g.budgetNs += step
+		}
+		g.nowNs += step
+		d -= step
+		if g.nowNs == tickEnd {
+			g.endTick()
+			g.tick++
+		}
+	}
+}
+
+// endTick processes the tick that just elapsed: release think-expired
+// users into the queue, then serve with the budget the tick earned.
+func (g *Gen) endTick() {
+	t := g.tick
+	for ci := range g.classes {
+		cs := &g.classes[ci]
+		if t%cs.stride == 0 {
+			// Window boundary: conserve any undripped remainder, then
+			// load the next window and its per-tick drip rate.
+			if left := cs.window - cs.dripped; left > 0 {
+				g.enqueue(t, int32(ci), left)
+			}
+			idx := (t / cs.stride) % int64(len(cs.wheel))
+			cs.window = cs.wheel[idx]
+			cs.wheel[idx] = 0
+			cs.dripped = 0
+			cs.dripAcc = 0
+			cs.dripFP = (cs.window << dripShift) / cs.stride
+		}
+		cs.dripAcc += cs.dripFP
+		n := cs.dripAcc >> dripShift
+		cs.dripAcc -= n << dripShift
+		if max := cs.window - cs.dripped; n > max {
+			n = max
+		}
+		if n > 0 {
+			cs.dripped += n
+			g.enqueue(t, int32(ci), n)
+		}
+	}
+	g.serve(t)
+}
+
+func (g *Gen) enqueue(t int64, class int32, n int64) {
+	g.offered += n
+	g.queued += n
+	if g.queued > g.peakQueued {
+		g.peakQueued = g.queued
+	}
+	// Coalesce with a recent batch of the same class. Classes interleave
+	// within a tick, so scan back a few entries, not just the tail.
+	// Exact-tick merges are always free; under deep overload the
+	// quantizer coarsens (granule grows with backlog) so queue state is
+	// bounded by backlog depth, not overload duration — merged requests
+	// inherit the earlier arrival tick, which can only overstate the
+	// tail.
+	granule := int64(0)
+	if g.qLen >= 2048 {
+		granule = int64(g.qLen >> 11)
+	}
+	depth := len(g.classes) + 1
+	if depth > g.qLen {
+		depth = g.qLen
+	}
+	for i := 1; i <= depth; i++ {
+		b := &g.queue[(g.qHead+g.qLen-i)%len(g.queue)]
+		if b.class == class && t-b.tick <= granule {
+			b.n += n
+			return
+		}
+	}
+	if g.qLen == len(g.queue) {
+		g.growQueue()
+	}
+	g.queue[(g.qHead+g.qLen)%len(g.queue)] = batch{tick: t, class: class, n: n}
+	g.qLen++
+}
+
+func (g *Gen) growQueue() {
+	n := 2 * len(g.queue)
+	if n == 0 {
+		n = 256
+	}
+	nq := make([]batch, n)
+	for i := 0; i < g.qLen; i++ {
+		nq[i] = g.queue[(g.qHead+i)%len(g.queue)]
+	}
+	g.queue = nq
+	g.qHead = 0
+}
+
+// serve drains the FIFO with the tick's accumulated service budget.
+// Partial progress on the head batch carries across ticks; idle budget
+// (empty queue) is discarded — a server cannot bank capacity.
+func (g *Gen) serve(t int64) {
+	for g.qLen > 0 {
+		b := &g.queue[g.qHead]
+		svc := g.classes[b.class].serviceNs
+		m := g.budgetNs / svc
+		if m == 0 {
+			return
+		}
+		if m > b.n {
+			m = b.n
+		}
+		g.budgetNs -= m * svc
+		b.n -= m
+		g.queued -= m
+		g.complete(t, b.tick, b.class, m)
+		if b.n == 0 {
+			g.qHead = (g.qHead + 1) % len(g.queue)
+			g.qLen--
+		}
+	}
+	g.budgetNs = 0
+}
+
+func (g *Gen) complete(t, arrivalTick int64, class int32, n int64) {
+	if g.p.Buffered {
+		if len(g.pending) > 0 {
+			last := &g.pending[len(g.pending)-1]
+			if last.tick == arrivalTick && last.class == class {
+				last.n += n
+				g.pendingN += n
+				return
+			}
+		}
+		g.pending = append(g.pending, batch{tick: arrivalTick, class: class, n: n})
+		g.pendingN += n
+		return
+	}
+	latency := (t+1)*g.tickNs - arrivalTick*g.tickNs
+	g.deliver(latency, n)
+	g.rearrive(class, t, n)
+}
+
+// release delivers buffered responses at the pause end (the commit
+// released the output buffer) and puts their users back to thinking.
+func (g *Gen) release() {
+	for i := range g.pending {
+		b := &g.pending[i]
+		latency := g.nowNs - b.tick*g.tickNs
+		g.deliver(latency, b.n)
+		g.rearrive(b.class, g.tick, b.n)
+	}
+	g.pending = g.pending[:0]
+	g.pendingN = 0
+}
+
+func (g *Gen) deliver(latencyNs, n int64) {
+	g.completed += n
+	g.win.ObserveN(float64(latencyNs), uint64(n))
+	g.meas.ObserveN(float64(latencyNs), uint64(n))
+}
+
+// rearrive schedules n users of a class back onto the wheel one think
+// time after delivery at tick t.
+func (g *Gen) rearrive(class int32, t, n int64) {
+	cs := &g.classes[class]
+	target := t + cs.thinkTicks
+	w := target / cs.stride
+	cur := t / cs.stride
+	if w <= cur {
+		w = cur + 1
+	}
+	if w >= cur+int64(len(cs.wheel)) {
+		g.growWheel(cs, cur, w-cur+1)
+	}
+	cs.wheel[w%int64(len(cs.wheel))] += n
+}
+
+// growWheel rebuilds a class wheel large enough to hold a re-arrival
+// needWindows ahead of the current window, preserving every scheduled
+// count's absolute window.
+func (g *Gen) growWheel(cs *classState, curWindow, needWindows int64) {
+	newLen := needWindows + 8
+	nw := make([]int64, newLen)
+	oldLen := int64(len(cs.wheel))
+	for i := int64(1); i < oldLen; i++ {
+		w := curWindow + i
+		nw[w%newLen] = cs.wheel[w%oldLen]
+	}
+	cs.wheel = nw
+}
+
+// ResetMeasure starts a fresh measurement window: reported stats cover
+// only what happens after this call. Drivers call it once warmup (cache
+// fills, controller convergence) is over.
+func (g *Gen) ResetMeasure() {
+	g.meas = obs.NewHistogram(g.p.Buckets)
+	g.measStartNs = g.nowNs
+	g.measOffered = g.offered
+	g.measCompleted = g.completed
+}
+
+// TakeEpoch returns the latency p99 and request count observed since
+// the previous TakeEpoch and resets that window — the SLO controller's
+// per-epoch feedback sample.
+func (g *Gen) TakeEpoch() (p99 time.Duration, count uint64) {
+	p99 = time.Duration(g.win.Quantile(0.99))
+	count = g.win.Count()
+	g.win = obs.NewHistogram(g.p.Buckets)
+	return p99, count
+}
+
+// Hist exposes the measurement-window histogram so hosts can Merge
+// per-VM distributions into fleet-wide percentiles.
+func (g *Gen) Hist() *obs.Histogram { return g.meas }
+
+// StateSize is the generator's aggregate-state footprint in slots
+// (wheel entries plus queue and pending capacity). It depends on class
+// geometry and backlog, never on the user count — the O(classes) claim,
+// asserted by test.
+func (g *Gen) StateSize() int64 {
+	var n int64
+	for i := range g.classes {
+		n += int64(len(g.classes[i].wheel))
+	}
+	return n + int64(len(g.queue)) + int64(cap(g.pending))
+}
+
+// LoadStats is a measurement-window report.
+type LoadStats struct {
+	Users     int64
+	Offered   int64
+	Completed int64
+	// Abandoned is the live in-flight population at snapshot time:
+	// requests offered (in any window) that are still queued or held in
+	// the output buffer. Over a generator's whole life,
+	// offered == completed + abandoned exactly.
+	Abandoned  int64
+	Throughput float64
+	AvgLatency time.Duration
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	PeakQueued int64
+	Window     time.Duration
+}
+
+// Snapshot reports the measurement window so far.
+func (g *Gen) Snapshot() LoadStats {
+	s := LoadStats{
+		Users:      g.Users(),
+		Offered:    g.offered - g.measOffered,
+		Completed:  g.completed - g.measCompleted,
+		PeakQueued: g.peakQueued,
+		Window:     time.Duration(g.nowNs - g.measStartNs),
+		P50:        time.Duration(g.meas.Quantile(0.50)),
+		P99:        time.Duration(g.meas.Quantile(0.99)),
+		P999:       time.Duration(g.meas.Quantile(0.999)),
+	}
+	s.Abandoned = g.queued + g.pendingN
+	if n := g.meas.Count(); n > 0 {
+		s.AvgLatency = time.Duration(g.meas.Sum() / float64(n))
+	}
+	if s.Window > 0 {
+		s.Throughput = float64(s.Completed) / s.Window.Seconds()
+	}
+	return s
+}

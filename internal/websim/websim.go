@@ -4,10 +4,16 @@
 // is held in the output buffer until the epoch's audit commits; under
 // Best Effort responses leave immediately. The VM serves no requests
 // while paused for checkpoints.
+//
+// Two generators live here. Simulate is the original per-request model
+// (one heap event per in-flight request) that reproduces the paper's
+// Figure 7 numbers. Gen (loadgen.go) is the production-scale cohort
+// model: millions of closed-loop users collapsed into per-class
+// aggregate state, driven by real controller timelines (schedule.go),
+// reporting streaming latency percentiles.
 package websim
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -33,11 +39,21 @@ type Params struct {
 	Horizon time.Duration
 }
 
-// Result reports a run's client-observed performance.
+// Result reports a run's client-observed performance. Requests counts
+// deliveries inside the horizon (it equals Completed and is retained
+// under its original name for the paper-baseline call sites); Offered,
+// Completed, and Abandoned make the closed-loop accounting explicit:
+// every request sent before the horizon is either delivered inside it
+// (completed) or still in flight when the horizon cuts the run off
+// (abandoned). Offered == Completed + Abandoned always holds.
 type Result struct {
 	Requests   int
 	Throughput float64 // requests per second
 	AvgLatency time.Duration
+
+	Offered   int // requests sent before the horizon
+	Completed int // delivered inside the horizon (== Requests)
+	Abandoned int // in flight when the horizon ended
 }
 
 // DefaultParams reproduces the paper's baseline: 17,094 req/s at 2.83 ms
@@ -59,18 +75,50 @@ type event struct {
 	conn int
 }
 
+// eventHeap is a typed binary min-heap on event.at. It replaces the
+// container/heap implementation: push and pop are direct methods with
+// no interface{} boxing, so the steady-state event path (pop one
+// delivery, push the next request into the same slot) does not allocate.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].at <= s[i].at {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].at < s[min].at {
+			min = l
+		}
+		if r < n && s[r].at < s[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Simulate runs the closed-loop experiment and returns client-observed
@@ -126,23 +174,29 @@ func Simulate(p Params) (Result, error) {
 	}
 
 	// Seed: every connection starts its pipeline at t=0.
-	h := &eventHeap{}
+	h := make(eventHeap, 0, p.Connections*p.Pipeline)
 	for c := 0; c < p.Connections; c++ {
 		for i := 0; i < p.Pipeline; i++ {
-			heap.Push(h, event{at: 0, conn: c})
+			h.push(event{at: 0, conn: c})
 		}
 	}
 
 	var (
 		serverFree time.Duration
 		completed  int
+		offered    int
+		abandoned  int
 		latencySum time.Duration
 	)
-	for h.Len() > 0 {
-		ev := heap.Pop(h).(event)
+	for len(h) > 0 {
+		ev := h.pop()
 		if ev.at >= p.Horizon {
+			// Never sent: the connection's previous response arrived at
+			// or after the horizon, so this request does not count as
+			// offered load.
 			continue
 		}
+		offered++
 		start := ev.at
 		if serverFree > start {
 			start = serverFree
@@ -154,14 +208,22 @@ func Simulate(p Params) (Result, error) {
 			delivery = cycleEnd(finish)
 		}
 		if delivery >= p.Horizon {
+			// Sent but still in flight (queued, in service, or held in
+			// the output buffer) when the horizon ended.
+			abandoned++
 			continue
 		}
 		completed++
 		latencySum += delivery - ev.at
-		heap.Push(h, event{at: delivery, conn: ev.conn})
+		h.push(event{at: delivery, conn: ev.conn})
 	}
 
-	res := Result{Requests: completed}
+	res := Result{
+		Requests:  completed,
+		Offered:   offered,
+		Completed: completed,
+		Abandoned: abandoned,
+	}
 	if completed > 0 {
 		res.Throughput = float64(completed) / p.Horizon.Seconds()
 		res.AvgLatency = latencySum / time.Duration(completed)

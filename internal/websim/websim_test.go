@@ -170,3 +170,89 @@ func TestBufferedReleaseAtCycleBoundary(t *testing.T) {
 		t.Fatalf("buffered latency %v not above unbuffered %v", sync.AvgLatency, be.AvgLatency)
 	}
 }
+
+// Regression pin for the offered/completed/abandoned accounting fix:
+// the paper-baseline numbers must not move (Requests, Throughput, and
+// AvgLatency are byte-for-byte what the seed produced), and the new
+// accounting must balance exactly. 48 connections x 16 pipelined
+// requests are in flight when the 10 s horizon ends, so 768 requests
+// are abandoned — previously dropped silently.
+func TestBaselineAccountingPinned(t *testing.T) {
+	res, err := Simulate(DefaultParams())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Requests != 170940 {
+		t.Fatalf("baseline Requests = %d, want 170940", res.Requests)
+	}
+	if res.Throughput != 17094.0 {
+		t.Fatalf("baseline Throughput = %v, want 17094 exactly", res.Throughput)
+	}
+	if want := 44827205 * time.Nanosecond; res.AvgLatency != want {
+		t.Fatalf("baseline AvgLatency = %v, want %v", res.AvgLatency, want)
+	}
+	if res.Completed != res.Requests {
+		t.Fatalf("Completed = %d, want Requests = %d", res.Completed, res.Requests)
+	}
+	if res.Abandoned != 768 {
+		t.Fatalf("Abandoned = %d, want 768 (one full pipeline in flight)", res.Abandoned)
+	}
+	if res.Offered != res.Completed+res.Abandoned {
+		t.Fatalf("Offered %d != Completed %d + Abandoned %d", res.Offered, res.Completed, res.Abandoned)
+	}
+}
+
+// The accounting identity holds under protection too, in both safety
+// modes: nothing offered is lost, it is either completed or abandoned.
+func TestAccountingBalances(t *testing.T) {
+	for _, buffered := range []bool{false, true} {
+		p := protectedParams(200*time.Millisecond, 4*time.Millisecond, buffered)
+		res, err := Simulate(p)
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		if res.Offered != res.Completed+res.Abandoned {
+			t.Fatalf("buffered=%v: Offered %d != Completed %d + Abandoned %d",
+				buffered, res.Offered, res.Completed, res.Abandoned)
+		}
+		if res.Abandoned < p.Connections*p.Pipeline {
+			t.Fatalf("buffered=%v: Abandoned = %d, want >= %d in-flight pipeline slots",
+				buffered, res.Abandoned, p.Connections*p.Pipeline)
+		}
+	}
+}
+
+// The typed event heap's steady-state path — pop a delivery, push the
+// connection's next request — must not allocate: the popped slot is
+// reused by the following push, so the backing array never grows after
+// the seed fill.
+func TestEventHeapSteadyStateAllocFree(t *testing.T) {
+	h := make(eventHeap, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		h.push(event{at: time.Duration(i * 37 % 1024), conn: i})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := h.pop()
+		ev.at += 1024
+		h.push(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pop+push allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEventHeap measures the steady-state event path; run with
+// -benchmem to confirm 0 allocs/op.
+func BenchmarkEventHeap(b *testing.B) {
+	h := make(eventHeap, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		h.push(event{at: time.Duration(i * 37 % 1024), conn: i})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.pop()
+		ev.at += 1024
+		h.push(ev)
+	}
+}
